@@ -1,0 +1,64 @@
+// Command wbtune runs one benchmark program under a chosen tuning mode and
+// prints the outcome — the quick way to try the library on a single
+// workload:
+//
+//	wbtune -bench Canny -mode wb
+//	wbtune -bench SVM -mode ot -budget 200
+//	wbtune -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	name := flag.String("bench", "Canny", "benchmark name (see -list)")
+	mode := flag.String("mode", "wb", "native | wb | ot")
+	seed := flag.Int64("seed", 1, "workload seed")
+	budget := flag.Float64("budget", 0, "work-unit budget (0 = benchmark default)")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			dir := "higher"
+			if !b.HigherIsBetter() {
+				dir = "lower"
+			}
+			fmt.Printf("%-12s %2d params, %s sampling, %s aggregation (%s is better)\n",
+				b.Name(), b.ParamCount(), b.SamplingName(), b.AggName(), dir)
+		}
+		return
+	}
+
+	b := bench.ByName(*name)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "wbtune: unknown benchmark %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	var out bench.Outcome
+	switch *mode {
+	case "native":
+		out = b.Native(*seed)
+	case "wb":
+		out = b.WBTune(*seed, *budget)
+	case "ot":
+		bud := *budget
+		if bud == 0 {
+			bud = b.WBTune(*seed, 0).Work // same budget WBTuner converged with
+		}
+		out = b.OTTune(*seed, bud)
+	default:
+		fmt.Fprintf(os.Stderr, "wbtune: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	fmt.Printf("benchmark:  %s (%s)\n", b.Name(), *mode)
+	fmt.Printf("score:      %.4f\n", out.Score)
+	fmt.Printf("work:       %.1f units (serial %.1f, parallel %.1f)\n",
+		out.Work, out.WorkSerial, out.WorkParallel)
+	fmt.Printf("samples:    %d configurations\n", out.Samples)
+}

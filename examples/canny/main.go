@@ -1,0 +1,120 @@
+// The paper's running example (Fig. 4/6): tune Canny's three parameters
+// with two nested sampling regions, pruning poorly smoothed stage-1
+// samples, splitting a tuning process per survivor, and majority-voting
+// the per-survivor edge maps.
+//
+// Run with: go run ./examples/canny [scene]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/canny"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/img"
+)
+
+func main() {
+	scene := "coffeemaker"
+	if len(os.Args) > 1 {
+		scene = os.Args[1]
+	}
+	ds := img.GenDataset(scene, 64, 64, 1)
+
+	trace := core.NewTrace()
+	tuner := core.New(core.Options{Seed: 1, Incremental: true, Trace: trace})
+	var mu sync.Mutex
+	var results [][]float64
+
+	err := tuner.Run(func(p *core.P) error {
+		noisy := ds.Noisy // the expensive load happens once
+		p.Work(canny.WorkLoad)
+		p.Expose("imgSize", noisy.W*noisy.H) // wbt_expose(imgSize)
+
+		// wbt_sampling(16, RAND) ... wbt_aggregate(sImage, custom)
+		res, err := p.Region(core.RegionSpec{
+			Name: "gaussian", Samples: 16,
+		}, func(sp *core.SP) error {
+			sigma := sp.Float("sigma", dist.Uniform(0.4, 4)) // wbt_sample
+			sp.Work(canny.WorkSmooth)
+			sp.Commit("sImage", canny.SmoothStage(noisy, sigma))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// AggregateGaussian: keep properly smoothed samples, split a tuning
+		// process per survivor (wbt_split).
+		for _, i := range res.Indices("sImage") {
+			sm := res.MustValue("sImage", i).(img.Image)
+			if !canny.WellSmoothed(sm, noisy) {
+				continue
+			}
+			sigma := res.Params(i)["sigma"]
+			p.Split(func(c *core.P) error {
+				c.Work(canny.WorkGradient)
+				g := canny.GradientStage(sm)
+				res2, err := c.Region(core.RegionSpec{
+					Name: "traversal", Samples: 12,
+					Aggregate: map[string]agg.Kind{"edges": agg.MV},
+				}, func(sp *core.SP) error {
+					low := sp.Float("low", dist.Uniform(0.05, 0.6))
+					high := sp.Float("high", dist.Uniform(0.2, 0.95))
+					sp.Work(canny.WorkTraverse)
+					edges := canny.TraverseStage(g, low, high)
+					sp.Check(edges.CountAbove(0.5) > 0) // wbt_check
+					sp.Commit("edges", edges.Pix)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if v := res2.Aggregated("edges"); v != nil {
+					vote := v.([]float64)
+					mu.Lock()
+					results = append(results, vote)
+					mu.Unlock()
+					edges := img.Image{W: 64, H: 64, Pix: vote}
+					fmt.Printf("  sigma=%.2f: voted edges score %.3f (SSIM vs truth)\n",
+						sigma, canny.Score(edges, ds.Truth))
+				}
+				return nil
+			})
+		}
+		return p.Wait()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Final vote across survivors.
+	final, _ := agg.New(agg.MV)
+	for _, r := range results {
+		final.Add(r)
+	}
+	native := canny.Detect(ds.Noisy, canny.DefaultParams())
+	fmt.Printf("\nscene %q:\n", scene)
+	fmt.Printf("  untuned defaults: %.3f\n", canny.Score(native, ds.Truth))
+	outDir := os.TempDir()
+	_ = ds.Noisy.SavePGM(filepath.Join(outDir, scene+"-input.pgm"))
+	_ = ds.Truth.SavePGM(filepath.Join(outDir, scene+"-truth.pgm"))
+	_ = native.SavePGM(filepath.Join(outDir, scene+"-untuned.pgm"))
+	if v := final.Result(); v != nil {
+		voted := img.Image{W: 64, H: 64, Pix: v.([]float64)}
+		fmt.Printf("  tuned (vote over %d survivors): %.3f\n",
+			len(results), canny.Score(voted, ds.Truth))
+		_ = voted.SavePGM(filepath.Join(outDir, scene+"-tuned.pgm"))
+		fmt.Printf("  images written to %s/%s-{input,truth,untuned,tuned}.pgm\n", outDir, scene)
+	}
+	m := tuner.Metrics()
+	fmt.Printf("  %d configurations explored, %d pruned, %.1f work units\n",
+		m.Samples, m.Pruned, tuner.WorkUsed())
+	fmt.Print(trace.Tree()) // the Fig. 6 tuning-model view
+}

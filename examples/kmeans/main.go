@@ -1,0 +1,75 @@
+// Tune K-means' cluster count with MCMC sampling and mid-run pruning —
+// the paper's example of @check terminating useless sample runs long
+// before the aggregation point (Sec. V-B3).
+//
+// Run with: go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/kmeans"
+	"repro/internal/points"
+	"repro/internal/strategy"
+)
+
+func main() {
+	ds := points.Gen(7, 180, 5, 3, 0.05) // 5 true clusters, hidden from tuning
+
+	tuner := core.New(core.Options{Seed: 7})
+	err := tuner.Run(func(p *core.P) error {
+		p.Work(3) // dataset loading, once
+		res, err := p.Region(core.RegionSpec{
+			Name: "k", Samples: 24,
+			Strategy: strategy.MCMC(strategy.MCMCOptions{}),
+			Score: func(sp *core.SP) float64 {
+				v, _ := sp.Get("silhouette")
+				return v.(float64)
+			},
+		}, func(sp *core.SP) error {
+			k := sp.Int("k", dist.IntRange(2, 14))
+			st := kmeans.Init(ds.Points, k, 1)
+			for it := 0; it < 40; it++ {
+				sp.Work(kmeans.WorkPerIter)
+				if !st.Step() {
+					break
+				}
+				if it == 2 {
+					sp.Check(st.Healthy()) // prune degenerate runs early
+				}
+			}
+			sp.Commit("silhouette", kmeans.Score(st))
+			sp.Commit("state", st)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(" k   silhouette  (vs ground-truth Rand index)")
+		for i := 0; i < res.N(); i++ {
+			if res.Pruned(i) {
+				fmt.Printf("%3.0f   pruned by @check\n", res.Params(i)["k"])
+				continue
+			}
+			if s := res.Score(i); !math.IsNaN(s) {
+				st := res.MustValue("state", i).(*kmeans.State)
+				fmt.Printf("%3.0f   %.3f       %.3f\n",
+					res.Params(i)["k"], s, kmeans.Quality(st, ds.Labels))
+			}
+		}
+		best := res.BestIndex()
+		st := res.MustValue("state", best).(*kmeans.State)
+		fmt.Printf("\npicked k=%.0f (true k=5): silhouette %.3f, Rand index %.3f\n",
+			res.Params(best)["k"], res.Score(best), kmeans.Quality(st, ds.Labels))
+		m := tuner.Metrics()
+		fmt.Printf("%d sample runs, %d pruned mid-iteration\n", m.Samples, m.Pruned)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

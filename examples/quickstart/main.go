@@ -1,0 +1,130 @@
+// Quickstart: tune a two-stage toy pipeline with the white-box engine.
+//
+// The "program" loads a dataset (expensive), smooths it with a tunable
+// window (stage 1), then thresholds it with a tunable cutoff (stage 2).
+// White-box tuning samples each stage independently, reusing the loaded
+// data and the stage-1 results — the paper's m*n vs m^n argument in 80
+// lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// load builds a noisy step signal; the "ground truth" step position is 600.
+func load() []float64 {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i >= 600 {
+			xs[i] = 1
+		}
+		// Deterministic pseudo-noise; a real program would read a file here.
+		xs[i] += 0.4 * math.Sin(float64(i)*12.9898)
+	}
+	return xs
+}
+
+// smooth is stage 1: a moving average with tunable window.
+func smooth(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		sum, n := 0.0, 0
+		for j := i - window; j <= i+window; j++ {
+			if j >= 0 && j < len(xs) {
+				sum += xs[j]
+				n++
+			}
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// detect is stage 2: find the first index exceeding the cutoff.
+func detect(xs []float64, cutoff float64) int {
+	for i, v := range xs {
+		if v > cutoff {
+			return i
+		}
+	}
+	return len(xs)
+}
+
+func main() {
+	tuner := core.New(core.Options{Seed: 42})
+	err := tuner.Run(func(p *core.P) error {
+		data := load() // once, not once per sample
+		p.Work(10)
+
+		// Stage 1: sample the smoothing window; score by how flat the
+		// smoothed signal is away from the step (an internal criterion —
+		// no ground truth needed).
+		res, err := p.Region(core.RegionSpec{
+			Name: "smooth", Samples: 12, Minimize: true,
+			Score: func(sp *core.SP) float64 {
+				v, _ := sp.Get("roughness")
+				return v.(float64)
+			},
+		}, func(sp *core.SP) error {
+			window := sp.Int("window", dist.IntRange(1, 60))
+			sp.Work(1)
+			sm := smooth(data, window)
+			rough := 0.0
+			for i := 1; i < 500; i++ { // left of the step: should be flat
+				rough += math.Abs(sm[i] - sm[i-1])
+			}
+			sp.Commit("roughness", rough)
+			sp.Commit("smoothed", sm)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// Continue with the best smoothed signal (a custom aggregation),
+		// then tune stage 2 on top of it — without re-running stage 1.
+		best := res.BestIndex()
+		sm := res.MustValue("smoothed", best).([]float64)
+		fmt.Printf("stage 1: picked window=%v (roughness %.3f)\n",
+			res.Params(best)["window"], res.Score(best))
+
+		res2, err := p.Region(core.RegionSpec{
+			Name: "detect", Samples: 16, Minimize: true,
+			Score: func(sp *core.SP) float64 {
+				v, _ := sp.Get("spread")
+				return v.(float64)
+			},
+		}, func(sp *core.SP) error {
+			cutoff := sp.Float("cutoff", dist.Uniform(0.1, 0.9))
+			sp.Work(0.2)
+			at := detect(sm, cutoff)
+			// Internal criterion: a robust detection should be stable
+			// under small cutoff perturbations.
+			lo := detect(sm, cutoff-0.05)
+			hi := detect(sm, cutoff+0.05)
+			sp.Commit("spread", math.Abs(float64(hi-lo)))
+			sp.Commit("at", at)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		b2 := res2.BestIndex()
+		fmt.Printf("stage 2: picked cutoff=%.3f -> step detected at %v (truth: 600)\n",
+			res2.Params(b2)["cutoff"], res2.MustValue("at", b2))
+		m := tuner.Metrics()
+		fmt.Printf("explored %d configurations in %.1f work units (one full execution)\n",
+			m.Samples, tuner.WorkUsed())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package agg
+
+import "sync"
+
+// Ring is the bounded shared buffer of Sec. IV-B: sampling processes copy
+// their results into it and the tuning process drains it to aggregate
+// incrementally, so at most Cap results exist at any moment instead of one
+// per sample. Put blocks while the ring is full; Drain consumes everything
+// currently buffered.
+//
+// The Go runtime could use a buffered channel here, but the explicit ring
+// keeps the capacity observable for the Fig. 10 memory accounting and lets
+// the consumer drain in batches like the paper's implementation.
+type Ring struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []any
+	head     int // index of oldest element
+	n        int // number of buffered elements
+	peak     int
+	closed   bool
+}
+
+// NewRing returns a ring buffer with the given capacity (>= 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("agg: ring capacity must be >= 1")
+	}
+	r := &Ring{buf: make([]any, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// Put appends v, blocking while the ring is full. Put on a closed ring
+// panics: producers must finish before Close.
+func (r *Ring) Put(v any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		panic("agg: Put on closed ring")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	if r.n > r.peak {
+		r.peak = r.n
+	}
+	r.notEmpty.Signal()
+}
+
+// WaitDrain blocks until at least one value is buffered (returning
+// everything buffered) or the ring is closed and empty (returning nil,
+// false). It is the consumer loop of the incremental-aggregation pattern:
+//
+//	for items, ok := ring.WaitDrain(); ok; items, ok = ring.WaitDrain() { … }
+func (r *Ring) WaitDrain() ([]any, bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.n == 0 {
+		r.mu.Unlock()
+		return nil, false
+	}
+	out := make([]any, 0, r.n)
+	for r.n > 0 {
+		out = append(out, r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+	return out, true
+}
+
+// Drain removes and returns everything currently buffered (possibly nothing).
+func (r *Ring) Drain() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]any, 0, r.n)
+	for r.n > 0 {
+		out = append(out, r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.notFull.Broadcast()
+	return out
+}
+
+// Close marks the ring closed, waking blocked producers (which then panic —
+// closing with producers still running is a harness bug, not a user path)
+// and unblocking a consumer waiting in WaitDrain once the buffer empties.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// Peak reports the largest number of simultaneously buffered values, the
+// memory high-water mark for the incremental-aggregation experiment.
+func (r *Ring) Peak() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peak
+}
+
+// Len reports the number of currently buffered values.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -1,0 +1,125 @@
+package c45
+
+import (
+	"testing"
+)
+
+func split(ds Dataset) (train, test Dataset) {
+	half := len(ds.X) / 2
+	idxA := make([]int, half)
+	idxB := make([]int, len(ds.X)-half)
+	for i := range idxA {
+		idxA[i] = i
+	}
+	for i := range idxB {
+		idxB[i] = half + i
+	}
+	return ds.Subset(idxA), ds.Subset(idxB)
+}
+
+func TestGenShapeAndDeterminism(t *testing.T) {
+	ds := Gen(1, 200, 6, 4, 0.1)
+	if len(ds.X) != 200 || len(ds.Y) != 200 || ds.Classes != 4 {
+		t.Fatal("shape wrong")
+	}
+	for _, y := range ds.Y {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	b := Gen(1, 200, 6, 4, 0.1)
+	if ds.Y[0] != b.Y[0] || ds.X[5][2] != b.X[5][2] {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestTreeLearnsTheGrid(t *testing.T) {
+	ds := Gen(2, 400, 4, 4, 0.0) // noiseless
+	train, test := split(ds)
+	tree := Train(train, DefaultParams())
+	if e := ErrorRate(tree, test); e > 0.15 {
+		t.Fatalf("test error %g on noiseless grid", e)
+	}
+}
+
+func TestPruningShrinksTree(t *testing.T) {
+	ds := Gen(3, 300, 6, 4, 0.25)
+	big := Train(ds, Params{Confidence: 1.0, MinSplit: 2})
+	small := Train(ds, Params{Confidence: 0.01, MinSplit: 2})
+	if small.Size() >= big.Size() {
+		t.Fatalf("aggressive pruning did not shrink: %d vs %d nodes", small.Size(), big.Size())
+	}
+}
+
+func TestMinSplitLimitsGrowth(t *testing.T) {
+	ds := Gen(4, 300, 6, 4, 0.2)
+	fine := Train(ds, Params{Confidence: 1.0, MinSplit: 2})
+	coarse := Train(ds, Params{Confidence: 1.0, MinSplit: 50})
+	if coarse.Size() >= fine.Size() {
+		t.Fatalf("MinSplit has no effect: %d vs %d", coarse.Size(), fine.Size())
+	}
+}
+
+func TestUnprunedOverfitsNoisyData(t *testing.T) {
+	// With label noise, the unpruned tree should have lower TRAINING error
+	// but not better TEST error than a pruned tree — the overfitting setup
+	// behind the paper's cross-validation discussion.
+	wins := 0
+	for seed := int64(0); seed < 5; seed++ {
+		ds := Gen(seed, 400, 6, 4, 0.25)
+		train, test := split(ds)
+		unpruned := Train(train, Params{Confidence: 1.0, MinSplit: 2})
+		pruned := Train(train, Params{Confidence: 0.05, MinSplit: 8})
+		trainGap := ErrorRate(unpruned, train) <= ErrorRate(pruned, train)
+		testGap := ErrorRate(pruned, test) <= ErrorRate(unpruned, test)+1e-9
+		if trainGap && testGap {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Fatalf("pruning beat memorization on only %d/5 datasets", wins)
+	}
+}
+
+func TestPredictOnLeafOnlyTree(t *testing.T) {
+	ds := Gen(5, 20, 3, 2, 0)
+	tree := Train(ds, Params{Confidence: 0.01, MinSplit: 100})
+	if !tree.IsLeaf() {
+		t.Fatal("MinSplit=100 on 20 examples should give a single leaf")
+	}
+	if c := tree.Predict(ds.X[0]); c < 0 || c >= 2 {
+		t.Fatalf("leaf predicted %d", c)
+	}
+}
+
+func TestErrorRateEmptyDataset(t *testing.T) {
+	ds := Gen(6, 20, 3, 2, 0)
+	tree := Train(ds, DefaultParams())
+	if ErrorRate(tree, Dataset{Classes: 2}) != 0 {
+		t.Fatal("empty dataset error should be 0")
+	}
+}
+
+func TestParamClamping(t *testing.T) {
+	ds := Gen(7, 50, 3, 2, 0.1)
+	// Degenerate params must not panic.
+	Train(ds, Params{Confidence: -1, MinSplit: 0})
+	Train(ds, Params{Confidence: 99, MinSplit: 1})
+}
+
+func TestGenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gen(1, 4, 3, 4, 0)
+}
+
+func TestSubset(t *testing.T) {
+	ds := Gen(8, 30, 3, 3, 0)
+	sub := ds.Subset([]int{0, 5, 10})
+	if len(sub.X) != 3 || sub.Y[1] != ds.Y[5] {
+		t.Fatal("Subset wrong")
+	}
+}

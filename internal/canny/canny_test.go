@@ -1,0 +1,144 @@
+package canny
+
+import (
+	"testing"
+
+	"repro/internal/img"
+)
+
+func square(w int) img.Image {
+	m := img.New(w, w)
+	for y := w / 4; y < 3*w/4; y++ {
+		for x := w / 4; x < 3*w/4; x++ {
+			m.Set(x, y, 0.9)
+		}
+	}
+	return m
+}
+
+func TestDetectFindsSquareOutline(t *testing.T) {
+	m := square(32)
+	edges := Detect(m, Params{Sigma: 1.0, Low: 0.2, High: 0.5})
+	n := edges.CountAbove(0.5)
+	if n < 40 {
+		t.Fatalf("only %d edge pixels on a 16x16 square outline", n)
+	}
+	if n > 200 {
+		t.Fatalf("%d edge pixels — detector fires everywhere", n)
+	}
+	// Edge pixels should hug the square boundary, not the interior center.
+	if edges.At(16, 16) != 0 {
+		t.Fatal("interior of the square flagged as edge")
+	}
+}
+
+func TestDetectOnBlankImage(t *testing.T) {
+	edges := Detect(img.New(24, 24), DefaultParams())
+	if edges.CountAbove(0.5) != 0 {
+		t.Fatal("edges detected in a constant image")
+	}
+}
+
+func TestTraverseThresholdOrderingForgiven(t *testing.T) {
+	m := square(32)
+	g := GradientStage(SmoothStage(m, 1))
+	a := TraverseStage(g, 0.2, 0.6)
+	b := TraverseStage(g, 0.6, 0.2) // swapped: must behave identically
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("swapped low/high changed the result")
+		}
+	}
+}
+
+func TestLowerLowThresholdNeverFindsFewerEdges(t *testing.T) {
+	ds := img.GenDataset("mug", 48, 48, 1)
+	g := GradientStage(SmoothStage(ds.Noisy, 1.2))
+	prev := -1
+	for _, low := range []float64{0.6, 0.4, 0.2, 0.1} {
+		n := TraverseStage(g, low, 0.6).CountAbove(0.5)
+		if prev >= 0 && n < prev {
+			t.Fatalf("lowering low threshold reduced edges: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestHigherHighThresholdNeverFindsMoreEdges(t *testing.T) {
+	ds := img.GenDataset("mug", 48, 48, 1)
+	g := GradientStage(SmoothStage(ds.Noisy, 1.2))
+	prev := -1
+	for _, high := range []float64{0.3, 0.5, 0.7, 0.9} {
+		n := TraverseStage(g, 0.1, high).CountAbove(0.5)
+		if prev >= 0 && n > prev {
+			t.Fatalf("raising high threshold increased edges: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestStagedEqualsMonolithic(t *testing.T) {
+	ds := img.GenDataset("wrench", 48, 48, 2)
+	p := Params{Sigma: 1.4, Low: 0.25, High: 0.55}
+	direct := Detect(ds.Noisy, p)
+	staged := TraverseStage(GradientStage(SmoothStage(ds.Noisy, p.Sigma)), p.Low, p.High)
+	for i := range direct.Pix {
+		if direct.Pix[i] != staged.Pix[i] {
+			t.Fatal("staged pipeline diverges from Detect")
+		}
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	ds := img.GenDataset("coffeemaker", 64, 64, 3)
+	perfect := Score(ds.Truth, ds.Truth)
+	blank := Score(img.New(64, 64), ds.Truth)
+	reasonable := Score(Detect(ds.Noisy, Params{Sigma: 1.2, Low: 0.2, High: 0.45}), ds.Truth)
+	if perfect < 0.999 {
+		t.Fatalf("perfect score %g", perfect)
+	}
+	if !(reasonable > blank) {
+		t.Fatalf("reasonable detection (%g) should beat blank output (%g)", reasonable, blank)
+	}
+}
+
+func TestParametersMatter(t *testing.T) {
+	// The motivation of the paper: different parameter settings give
+	// meaningfully different scores on the same image.
+	ds := img.GenDataset("trashcan", 64, 64, 4)
+	good := Score(Detect(ds.Noisy, Params{Sigma: 1.2, Low: 0.08, High: 0.25}), ds.Truth)
+	bad := Score(Detect(ds.Noisy, Params{Sigma: 4.5, Low: 0.85, High: 0.95}), ds.Truth)
+	if good-bad < 0.02 {
+		t.Fatalf("parameters barely matter: good=%g bad=%g", good, bad)
+	}
+}
+
+func TestWellSmoothedBand(t *testing.T) {
+	ds := img.GenDataset("pitcher", 64, 64, 5)
+	over := SmoothStage(ds.Noisy, 8.0) // destroyed detail
+	if WellSmoothed(over, ds.Noisy) {
+		t.Fatal("over-smoothed image accepted")
+	}
+	under := SmoothStage(ds.Noisy, 0.2) // barely touched the noise
+	if WellSmoothed(under, ds.Noisy) {
+		t.Fatal("under-smoothed image accepted")
+	}
+	ok := SmoothStage(ds.Noisy, 1.5)
+	if !WellSmoothed(ok, ds.Noisy) {
+		t.Fatal("reasonably smoothed image rejected")
+	}
+}
+
+func TestNonMaxSuppressionThinsEdges(t *testing.T) {
+	ds := img.GenDataset("hammer", 48, 48, 6)
+	sm := SmoothStage(ds.Noisy, 1.2)
+	g := GradientStage(sm)
+	rawAbove := g.Mag.CountAbove(0.2 * g.Mag.MaxPix())
+	nmsAbove := g.NMS.CountAbove(0.2 * g.Mag.MaxPix())
+	if nmsAbove >= rawAbove {
+		t.Fatalf("NMS did not thin: %d -> %d", rawAbove, nmsAbove)
+	}
+	if nmsAbove == 0 {
+		t.Fatal("NMS removed everything")
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements the WBTuner runtime: the white-box program-tuning
+// engine of "White-Box Program Tuning" (CGO 2019).
+//
+// A tuning program is ordinary Go code plus a small number of primitives:
+//
+//   - (*P).Region marks a sampling code region (the paper's @sampling ...
+//     @aggregate pair). The body runs once per sampling process; the runtime
+//     spawns the processes, throttles them through the Algorithm 1
+//     scheduler, collects the committed sample results into the aggregation
+//     store, and applies the region's built-in aggregation strategies.
+//   - (*SP).Float / Int / Pick draw a tunable variable (@sample).
+//   - (*SP).Commit submits a sample result variable (@aggregate, child side).
+//   - (*SP).Check prunes a useless sample run (@check).
+//   - (*SP).Sync is a mid-region barrier (@sync).
+//   - (*P).Expose / Load / LoadFrom move values between the program store
+//     and the exposed store (@expose, @load).
+//   - (*P).Split spawns a child tuning process that continues the
+//     computation with one chosen internal result (@split).
+//
+// The paper's runtime forks OS processes; here sampling and tuning processes
+// are goroutines with isolated per-process state. See DESIGN.md for the
+// substitution argument.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/strategy"
+)
+
+// Options configure a Tuner.
+type Options struct {
+	// MaxPool bounds the number of simultaneously live tuning + sampling
+	// processes (Algorithm 1). Zero means twice the number of CPUs.
+	MaxPool int
+	// Seed makes every run reproducible. The zero seed is a valid seed.
+	Seed int64
+	// Incremental enables incremental aggregation (Sec. IV-B): sample
+	// results for variables with a built-in aggregation strategy are folded
+	// into the aggregate as they are committed instead of being retained
+	// until the end of the region.
+	Incremental bool
+	// DisableScheduler turns Algorithm 1 off (every spawn is admitted
+	// immediately). Used by the Fig. 10 ablation.
+	DisableScheduler bool
+	// Trace, when non-nil, records runtime events (region/round/sample
+	// lifecycle, splits) for debugging and for rendering the tuning tree.
+	Trace *Trace
+	// Budget, when positive, bounds the total work units the tuner may
+	// spend (Work calls accumulate against it). Once exceeded, regions stop
+	// launching new sampling processes. Work units stand in for the
+	// paper's wall-clock tuning budgets.
+	Budget float64
+}
+
+// Metrics report what a tuning run did. All counters are cumulative over
+// the Tuner's lifetime.
+type Metrics struct {
+	// Regions is the number of Region invocations.
+	Regions int64
+	// Rounds is the number of sampling rounds (auto-tuned sampling may run
+	// several rounds per region).
+	Rounds int64
+	// Samples is the number of sampling-process bodies started.
+	Samples int64
+	// Pruned counts sampling processes terminated by Check.
+	Pruned int64
+	// Panics counts sampling processes that panicked and were contained.
+	Panics int64
+	// Splits counts child tuning processes spawned with Split.
+	Splits int64
+	// WorkUnits is the total work executed (Work calls).
+	WorkUnits float64
+	// WorkSerial is the work executed by tuning processes (loading,
+	// preprocessing, aggregation) — the part that stays on the critical
+	// path under multi-core execution.
+	WorkSerial float64
+	// WorkParallel is the work executed by sampling processes — the part
+	// a multi-core pool divides among workers.
+	WorkParallel float64
+	// PeakRetained is the largest number of sample values retained
+	// simultaneously by any region (aggregation-store entries plus
+	// incremental-aggregator state) — the memory proxy for Fig. 10.
+	PeakRetained int64
+	// Scheduler reports the Algorithm 1 counters.
+	Scheduler sched.Stats
+}
+
+// Tuner is the white-box tuning engine. Create one per tuning task with New
+// and start the program with Run. A Tuner is safe for use by the multiple
+// tuning and sampling processes it manages.
+type Tuner struct {
+	opts    Options
+	sched   *sched.Scheduler
+	exposed *store.Exposed
+
+	workMilli int64 // atomic; total work in 1/1024 units
+
+	mu       sync.Mutex
+	metrics  Metrics
+	feedback map[string][]strategy.Feedback
+	nextPID  int64
+}
+
+// New returns a Tuner with the given options.
+func New(opts Options) *Tuner {
+	if opts.MaxPool == 0 {
+		opts.MaxPool = 2 * runtime.NumCPU()
+	}
+	if opts.MaxPool < 1 {
+		panic("core: MaxPool must be positive")
+	}
+	return &Tuner{
+		opts:     opts,
+		sched:    sched.New(opts.MaxPool, opts.DisableScheduler),
+		exposed:  store.NewExposed(),
+		feedback: make(map[string][]strategy.Feedback),
+	}
+}
+
+// Run executes the tuning program fn as the root tuning process and waits
+// for it and every split-off tuning process to finish. It returns the
+// joined errors of the whole process tree.
+func (t *Tuner) Run(fn func(p *P) error) error {
+	t.sched.Acquire(sched.SpawnT, 0)
+	defer t.release()
+	p := t.newP()
+	err := fn(p)
+	return errors.Join(err, p.Wait())
+}
+
+func (t *Tuner) release() {
+	t.mu.Lock()
+	t.metrics.Scheduler = t.sched.Stats()
+	t.mu.Unlock()
+	t.sched.Release()
+}
+
+func (t *Tuner) newP() *P {
+	t.mu.Lock()
+	t.nextPID++
+	pid := t.nextPID
+	t.mu.Unlock()
+	return &P{t: t, pid: pid}
+}
+
+// AddWork accounts units of computation against the budget; unattributed
+// work counts as serial.
+func (t *Tuner) AddWork(units float64) { t.addWork(units, false) }
+
+func (t *Tuner) addWork(units float64, parallel bool) {
+	if units < 0 {
+		panic("core: negative work")
+	}
+	atomic.AddInt64(&t.workMilli, int64(units*1024))
+	t.mu.Lock()
+	t.metrics.WorkUnits += units
+	if parallel {
+		t.metrics.WorkParallel += units
+	} else {
+		t.metrics.WorkSerial += units
+	}
+	t.mu.Unlock()
+}
+
+// WorkUsed reports the total work executed so far.
+func (t *Tuner) WorkUsed() float64 {
+	return float64(atomic.LoadInt64(&t.workMilli)) / 1024
+}
+
+// BudgetExceeded reports whether the configured work budget is spent.
+// It is always false when no budget was configured.
+func (t *Tuner) BudgetExceeded() bool {
+	return t.opts.Budget > 0 && t.WorkUsed() >= t.opts.Budget
+}
+
+// Metrics returns a snapshot of the run counters.
+func (t *Tuner) Metrics() Metrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.metrics
+	m.Scheduler = t.sched.Stats()
+	return m
+}
+
+// feedbackFor returns a copy of the accumulated feedback for a region name,
+// sorted best-first for the given direction.
+func (t *Tuner) feedbackFor(name string, minimize bool) []strategy.Feedback {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fb := append([]strategy.Feedback(nil), t.feedback[name]...)
+	strategy.SortBestFirst(fb, minimize)
+	return fb
+}
+
+// maxFeedback bounds how much per-region feedback the tuner retains.
+const maxFeedback = 64
+
+func (t *Tuner) addFeedback(name string, fb []strategy.Feedback, minimize bool) {
+	if len(fb) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	all := append(t.feedback[name], fb...)
+	strategy.SortBestFirst(all, minimize)
+	if len(all) > maxFeedback {
+		all = all[:maxFeedback]
+	}
+	t.feedback[name] = all
+}
+
+func (t *Tuner) notePeakRetained(v int64) {
+	t.mu.Lock()
+	if v > t.metrics.PeakRetained {
+		t.metrics.PeakRetained = v
+	}
+	t.mu.Unlock()
+}
+
+// regionSeed derives a deterministic seed for a named region round.
+func (t *Tuner) regionSeed(name string, round int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(mix(uint64(t.opts.Seed), h.Sum64()+uint64(round)))
+}
+
+// mix is the SplitMix64 finalizer (same as dist.Mix, duplicated to avoid a
+// dependency cycle risk in future refactors is NOT a concern here; we call
+// through a tiny local copy simply because the hash feeds rand seeds).
+func mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15*(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// P is a tuning process: the manager of a pool of sampling processes
+// (mode T⟨pid⟩ in the semantics). The root P is created by Run; further
+// tuning processes come from Split.
+type P struct {
+	t   *Tuner
+	pid int64
+
+	wg      sync.WaitGroup
+	pending int64 // atomic; split children not yet finished
+	errM    sync.Mutex
+	errs    []error
+}
+
+// Tuner returns the engine this process belongs to.
+func (p *P) Tuner() *Tuner { return p.t }
+
+// PID returns the tuning process id (unique within the Tuner).
+func (p *P) PID() int64 { return p.pid }
+
+// globalScope is the exposed-store scope used by the unqualified
+// Expose/Load pair.
+const globalScope = "global"
+
+// Expose writes a value to the exposed store under the global scope
+// (rule [EXPOSE]); callbacks and later stages read it back with Load.
+func (p *P) Expose(name string, v any) { p.t.exposed.Set(globalScope, name, v) }
+
+// ExposeIn writes a value to the exposed store under an explicit scope,
+// mirroring the paper's name+scope encoding for same-named locals.
+func (p *P) ExposeIn(scope, name string, v any) { p.t.exposed.Set(scope, name, v) }
+
+// Load reads an exposed global-scope variable (rule [LOAD]). It panics if
+// the variable was never exposed — always a tuning-program bug.
+func (p *P) Load(name string) any { return p.t.exposed.MustGet(globalScope, name) }
+
+// LoadFrom reads an exposed variable from an explicit scope.
+func (p *P) LoadFrom(scope, name string) any { return p.t.exposed.MustGet(scope, name) }
+
+// Work accounts units of computation performed by this tuning process.
+func (p *P) Work(units float64) { p.t.AddWork(units) }
+
+// Split spawns a child tuning process (rule [SPLIT]). fn is the
+// continuation of the computation — everything the child should do after
+// the split point. The child inherits access to the exposed store but gets
+// a fresh aggregation context (the semantics gives the child an empty
+// sample store). Split returns immediately; Wait collects the child's
+// error.
+func (p *P) Split(fn func(child *P) error) {
+	p.t.mu.Lock()
+	p.t.metrics.Splits++
+	p.t.mu.Unlock()
+	p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
+	p.wg.Add(1)
+	atomic.AddInt64(&p.pending, 1)
+	go func() {
+		defer p.wg.Done()
+		defer atomic.AddInt64(&p.pending, -1)
+		p.t.sched.Acquire(sched.SpawnT, 0)
+		defer p.t.sched.Release()
+		child := p.t.newP()
+		err := fn(child)
+		if werr := child.Wait(); werr != nil {
+			err = errors.Join(err, werr)
+		}
+		if err != nil {
+			p.errM.Lock()
+			p.errs = append(p.errs, fmt.Errorf("split child %d: %w", child.pid, err))
+			p.errM.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every tuning process split off from p has finished and
+// returns their joined errors. While blocked, p hands its pool slot back so
+// descendants can be admitted (deep split chains would otherwise deadlock
+// on small pools).
+func (p *P) Wait() error {
+	if atomic.LoadInt64(&p.pending) > 0 {
+		p.t.sched.Release()
+		p.wg.Wait()
+		p.t.sched.Acquire(sched.SpawnT, 0)
+	} else {
+		p.wg.Wait()
+	}
+	p.errM.Lock()
+	defer p.errM.Unlock()
+	err := errors.Join(p.errs...)
+	p.errs = nil
+	return err
+}

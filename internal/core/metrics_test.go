@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dist"
+)
+
+func TestWorkSplitSerialVsParallel(t *testing.T) {
+	tuner := newTuner()
+	run(t, tuner, func(p *P) error {
+		p.Work(5) // tuning-process work is serial
+		_, err := p.Region(RegionSpec{Name: "r", Samples: 4}, func(sp *SP) error {
+			sp.Work(2) // sampling-process work is parallelizable
+			return nil
+		})
+		return err
+	})
+	m := tuner.Metrics()
+	if m.WorkSerial != 5 {
+		t.Fatalf("WorkSerial = %g", m.WorkSerial)
+	}
+	if m.WorkParallel != 8 {
+		t.Fatalf("WorkParallel = %g", m.WorkParallel)
+	}
+	if got := tuner.WorkUsed(); math.Abs(got-13) > 0.01 {
+		t.Fatalf("WorkUsed = %g", got)
+	}
+}
+
+func TestPeakRetainedTracksCommits(t *testing.T) {
+	tuner := newTuner()
+	run(t, tuner, func(p *P) error {
+		_, err := p.Region(RegionSpec{Name: "r", Samples: 6}, func(sp *SP) error {
+			sp.Commit("a", 1.0)
+			sp.Commit("b", 2.0)
+			return nil
+		})
+		return err
+	})
+	if got := tuner.Metrics().PeakRetained; got != 12 {
+		t.Fatalf("PeakRetained = %d, want 12 (6 samples x 2 vars)", got)
+	}
+}
+
+func TestIncrementalReducesPeakRetained(t *testing.T) {
+	retained := func(incremental bool) int64 {
+		tuner := New(Options{MaxPool: 8, Seed: 1, Incremental: incremental})
+		run(t, tuner, func(p *P) error {
+			_, err := p.Region(RegionSpec{
+				Name: "r", Samples: 8,
+				Aggregate: map[string]agg.Kind{"v": agg.Avg},
+			}, func(sp *SP) error {
+				sp.Commit("v", float64(sp.Index()))
+				return nil
+			})
+			return err
+		})
+		return tuner.Metrics().PeakRetained
+	}
+	if on, off := retained(true), retained(false); on >= off {
+		t.Fatalf("incremental retained %d >= one-shot %d", on, off)
+	}
+}
+
+func TestFeedbackSharedAcrossSameNamedRegions(t *testing.T) {
+	tuner := newTuner()
+	run(t, tuner, func(p *P) error {
+		spec := RegionSpec{
+			Name: "shared", Samples: 6, Minimize: true,
+			Score: func(sp *SP) float64 {
+				v, _ := sp.Get("x")
+				return math.Abs(v.(float64) - 0.5)
+			},
+		}
+		body := func(sp *SP) error {
+			sp.Commit("x", sp.Float("x", dist.Uniform(0, 1)))
+			return nil
+		}
+		if _, err := p.Region(spec, body); err != nil {
+			return err
+		}
+		_, err := p.Region(spec, body)
+		return err
+	})
+	fb := tuner.feedbackFor("shared", true)
+	if len(fb) != 12 {
+		t.Fatalf("feedback entries = %d, want 12 from two rounds", len(fb))
+	}
+	// Best-first ordering.
+	for i := 1; i < len(fb); i++ {
+		if fb[i].Score < fb[i-1].Score {
+			t.Fatal("feedback not sorted best-first")
+		}
+	}
+}
+
+func TestFeedbackCapped(t *testing.T) {
+	tuner := newTuner()
+	run(t, tuner, func(p *P) error {
+		for round := 0; round < 10; round++ {
+			_, err := p.Region(RegionSpec{
+				Name: "cap", Samples: 10, Minimize: true,
+				Score: func(sp *SP) float64 { return 0 },
+			}, func(sp *SP) error { return nil })
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if got := len(tuner.feedbackFor("cap", true)); got > maxFeedback {
+		t.Fatalf("feedback grew to %d, cap is %d", got, maxFeedback)
+	}
+}
+
+func TestResultEdgeCases(t *testing.T) {
+	run(t, newTuner(), func(p *P) error {
+		res, err := p.Region(RegionSpec{Name: "r", Samples: 3}, func(sp *SP) error {
+			sp.Commit("v", float64(sp.Index()))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Unscored region: BestIndex is -1, BestScore NaN, BestParams nil.
+		if res.BestIndex() != -1 || !math.IsNaN(res.BestScore()) || res.BestParams() != nil {
+			return fmt.Errorf("unscored region Best* wrong: %d %v %v",
+				res.BestIndex(), res.BestScore(), res.BestParams())
+		}
+		if got := res.Vars(); len(got) != 1 || got[0] != "v" {
+			return fmt.Errorf("Vars = %v", got)
+		}
+		if vals := res.Values("v"); len(vals) != 3 {
+			return fmt.Errorf("Values = %v", vals)
+		}
+		return nil
+	})
+}
+
+func TestMustValuePanicsOnMissing(t *testing.T) {
+	tuner := newTuner()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = tuner.Run(func(p *P) error {
+		res, err := p.Region(RegionSpec{Name: "r", Samples: 1}, func(sp *SP) error {
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.MustValue("never-committed", 0)
+		return nil
+	})
+}
+
+func TestParamsCopyIsolated(t *testing.T) {
+	run(t, newTuner(), func(p *P) error {
+		res, err := p.Region(RegionSpec{Name: "r", Samples: 1}, func(sp *SP) error {
+			sp.Float("x", dist.Uniform(0, 1))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		a := res.Params(0)
+		a["x"] = 999
+		if b := res.Params(0); b["x"] == 999 {
+			return fmt.Errorf("Params returned a shared map")
+		}
+		return nil
+	})
+}
+
+func TestSPGetAndMustGet(t *testing.T) {
+	run(t, newTuner(), func(p *P) error {
+		_, err := p.Region(RegionSpec{Name: "r", Samples: 1}, func(sp *SP) error {
+			if _, ok := sp.Get("missing"); ok {
+				return fmt.Errorf("Get of missing reported ok")
+			}
+			sp.Commit("v", 42)
+			if got := sp.MustGet("v"); got != 42 {
+				return fmt.Errorf("MustGet = %v", got)
+			}
+			return nil
+		})
+		return err
+	})
+}
+
+func TestTunerMetricsSnapshotIsolated(t *testing.T) {
+	tuner := newTuner()
+	run(t, tuner, func(p *P) error {
+		_, err := p.Region(RegionSpec{Name: "r", Samples: 2}, func(sp *SP) error { return nil })
+		return err
+	})
+	m1 := tuner.Metrics()
+	m1.Samples = 999
+	if tuner.Metrics().Samples == 999 {
+		t.Fatal("Metrics returned internal state")
+	}
+}
+
+// The ring-backed incremental path must produce the same aggregates as the
+// direct path while bounding in-flight values.
+func TestRingBackedIncrementalMatchesDirect(t *testing.T) {
+	results := func(incremental bool) (float64, []float64) {
+		tuner := New(Options{MaxPool: 8, Seed: 3, Incremental: incremental})
+		var avg float64
+		var mv []float64
+		run(t, tuner, func(p *P) error {
+			res, err := p.Region(RegionSpec{
+				Name: "ring", Samples: 32,
+				Aggregate: map[string]agg.Kind{"s": agg.Avg, "v": agg.MV},
+			}, func(sp *SP) error {
+				sp.Commit("s", float64(sp.Index()))
+				pix := make([]float64, 4)
+				if sp.Index()%3 == 0 {
+					pix[0] = 1
+				}
+				pix[1] = 1
+				sp.Commit("v", pix)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			avg = res.Aggregated("s").(float64)
+			mv = res.Aggregated("v").([]float64)
+			return nil
+		})
+		return avg, mv
+	}
+	a1, v1 := results(false)
+	a2, v2 := results(true)
+	if a1 != a2 {
+		t.Fatalf("Avg differs: direct %g vs ring %g", a1, a2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("MV differs at %d: %v vs %v", i, v1, v2)
+		}
+	}
+}

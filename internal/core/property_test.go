@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// Property: for any sample count and pruning mask, the aggregation store
+// holds exactly the unpruned samples' commits, at the right indices, and
+// Result's pruned flags match the mask — the core region invariant
+// (mirrors the semantics-level property test, but against the production
+// runtime).
+func TestPropertyRegionCommitsMatchMask(t *testing.T) {
+	f := func(nRaw uint8, mask uint16, seed int64) bool {
+		n := int(nRaw%12) + 1
+		tuner := New(Options{MaxPool: 8, Seed: seed})
+		ok := true
+		err := tuner.Run(func(p *P) error {
+			res, err := p.Region(RegionSpec{Name: "prop", Samples: n}, func(sp *SP) error {
+				sp.Check(mask>>(sp.Index()%16)&1 == 0)
+				sp.Commit("v", float64(sp.Index()))
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			want := 0
+			for i := 0; i < n; i++ {
+				pruned := mask>>(i%16)&1 == 1
+				if res.Pruned(i) != pruned {
+					ok = false
+				}
+				if !pruned {
+					want++
+					if v, has := res.Value("v", i); !has || v.(float64) != float64(i) {
+						ok = false
+					}
+				} else if _, has := res.Value("v", i); has {
+					ok = false
+				}
+			}
+			if res.Len("v") != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under cross-validation, every fold of every group runs exactly
+// once and all folds of a group share identical parameter draws.
+func TestPropertyCVFoldsCompleteAndShared(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw%5) + 1
+		k := int(kRaw%3) + 2
+		tuner := New(Options{MaxPool: 16, Seed: seed})
+		type draw struct {
+			group, fold int
+			x           float64
+		}
+		var mu sync.Mutex
+		var draws []draw
+		err := tuner.Run(func(p *P) error {
+			_, err := p.Region(RegionSpec{
+				Name: "cvprop", Samples: n, CV: k, Minimize: true,
+				Score: func(sp *SP) float64 { return 0 },
+			}, func(sp *SP) error {
+				x := sp.Float("x", dist.Uniform(0, 1))
+				fold, _ := sp.Fold()
+				mu.Lock()
+				draws = append(draws, draw{sp.Index(), fold, x})
+				mu.Unlock()
+				return nil
+			})
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		if len(draws) != n*k {
+			return false
+		}
+		seen := map[string]bool{}
+		groupX := map[int]float64{}
+		for _, d := range draws {
+			key := fmt.Sprintf("%d/%d", d.group, d.fold)
+			if seen[key] {
+				return false // fold ran twice
+			}
+			seen[key] = true
+			if x, ok := groupX[d.group]; ok {
+				if x != d.x {
+					return false // folds of one SVG drew different values
+				}
+			} else {
+				groupX[d.group] = d.x
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total work equals the sum of per-sample work plus serial work,
+// regardless of pruning (pruned samples still account the work they did
+// before the check).
+func TestPropertyWorkAccounting(t *testing.T) {
+	f := func(nRaw uint8, serialRaw, perRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		serial := float64(serialRaw%50) + 1
+		per := float64(perRaw%20) + 1
+		tuner := New(Options{MaxPool: 8, Seed: 1})
+		err := tuner.Run(func(p *P) error {
+			p.Work(serial)
+			_, err := p.Region(RegionSpec{Name: "w", Samples: n}, func(sp *SP) error {
+				sp.Work(per)
+				return nil
+			})
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		want := serial + float64(n)*per
+		got := tuner.WorkUsed()
+		return got > want-0.1 && got < want+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/strategy"
+)
+
+// RegionSpec describes one sampling code region — the pair of @sampling and
+// @aggregate calls plus everything the paper configures on them.
+type RegionSpec struct {
+	// Name identifies the region. Feedback-driven strategies (MCMC) and
+	// auto-tuned sampling accumulate knowledge per region name, so reusing
+	// a name across Region calls deliberately shares feedback.
+	Name string
+	// Samples is the number of sampling processes to spawn. Zero enables
+	// auto-tuned sampling (Sec. IV-D): the runtime starts at AutoStart and
+	// doubles until the best score stops improving; this requires Score.
+	Samples int
+	// AutoStart is the initial sample count for auto-tuned sampling.
+	// Zero means 8.
+	AutoStart int
+	// MaxSamples caps auto-tuned sampling. Zero means 512.
+	MaxSamples int
+	// RelEps is the minimum relative score improvement that keeps
+	// auto-tuned sampling doubling. Zero means 1e-3.
+	RelEps float64
+	// Strategy is the sampling strategy. Nil means strategy.Rand().
+	Strategy strategy.Strategy
+	// Aggregate maps sample result variables to built-in aggregation
+	// strategies; their aggregates are available from Result.Aggregated.
+	// Variables not listed (or listed as agg.Custom) are only collected
+	// into the aggregation store for custom aggregation by the caller.
+	Aggregate map[string]agg.Kind
+	// Score, if set, scores one finished sampling process; it feeds
+	// feedback-driven strategies, auto-tuned sampling, and Result.Best*.
+	Score func(sp *SP) float64
+	// Minimize declares the score direction (default: higher is better).
+	Minimize bool
+	// CV enables k-fold cross-validation (Sec. IV-A) when >= 2: each
+	// sample becomes a sampling-and-validation group of CV processes that
+	// share drawn parameter values but see different folds; their scores
+	// are averaged. Commits are retained from fold 0 only.
+	CV int
+}
+
+func (s RegionSpec) withDefaults() (RegionSpec, error) {
+	if s.Name == "" {
+		return s, errors.New("core: RegionSpec.Name is required")
+	}
+	if s.Samples < 0 {
+		return s, fmt.Errorf("core: region %q: negative Samples", s.Name)
+	}
+	if s.Samples == 0 && s.Score == nil {
+		return s, fmt.Errorf("core: region %q: auto-tuned sampling requires Score", s.Name)
+	}
+	if s.CV < 0 || s.CV == 1 {
+		return s, fmt.Errorf("core: region %q: CV must be 0 or >= 2", s.Name)
+	}
+	if s.CV > 1 && s.Score == nil {
+		return s, fmt.Errorf("core: region %q: cross-validation requires Score", s.Name)
+	}
+	if s.AutoStart == 0 {
+		s.AutoStart = 8
+	}
+	if s.MaxSamples == 0 {
+		s.MaxSamples = 512
+	}
+	if s.RelEps == 0 {
+		s.RelEps = 1e-3
+	}
+	if s.Strategy == nil {
+		s.Strategy = strategy.Rand()
+	}
+	for x, k := range s.Aggregate {
+		if k == agg.Custom {
+			continue
+		}
+		if _, err := agg.New(k); err != nil {
+			return s, fmt.Errorf("core: region %q variable %q: %w", s.Name, x, err)
+		}
+	}
+	return s, nil
+}
+
+// Region executes a sampling code region: it switches p into its tuning
+// role, spawns the sampling processes, waits for them to commit, applies
+// the built-in aggregations, and returns the aggregated view (rules
+// [SAMPLING], [AGGR-S], [AGGR-T]).
+//
+// body runs once per sampling process, possibly concurrently; everything it
+// touches must be either local to the body or safe for concurrent reads
+// (e.g. the immutable inputs of the stage). Sample-level panics are
+// contained and reported per sample; Region itself fails only for spec
+// errors or if every sampling process failed.
+func (p *P) Region(spec RegionSpec, body func(sp *SP) error) (*Result, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := p.t
+	t.mu.Lock()
+	t.metrics.Regions++
+	t.mu.Unlock()
+	t.opts.Trace.add(Event{Kind: EvRegionStart, Region: spec.Name, PID: p.pid, Sample: -1})
+	defer t.opts.Trace.add(Event{Kind: EvRegionEnd, Region: spec.Name, PID: p.pid, Sample: -1})
+
+	if spec.Samples > 0 {
+		return p.runRound(spec, spec.Samples, 0, body)
+	}
+
+	// Auto-tuned sampling (Sec. IV-D): double until no further improvement.
+	n := spec.AutoStart
+	var best *Result
+	bestScore := math.NaN()
+	round := 0
+	for {
+		res, err := p.runRound(spec, n, round, body)
+		if err != nil {
+			if best != nil {
+				return best, nil // keep the last good round
+			}
+			return nil, err
+		}
+		round++
+		score := res.BestScore()
+		if best == nil || improved(score, bestScore, spec.Minimize, spec.RelEps) {
+			best, bestScore = res, score
+			if n >= spec.MaxSamples || t.BudgetExceeded() {
+				return best, nil
+			}
+			n *= 2
+			if n > spec.MaxSamples {
+				n = spec.MaxSamples
+			}
+			continue
+		}
+		return best, nil
+	}
+}
+
+// improved reports whether next is a relative improvement over prev of more
+// than eps in the given direction.
+func improved(next, prev float64, minimize bool, eps float64) bool {
+	if math.IsNaN(next) {
+		return false
+	}
+	if math.IsNaN(prev) {
+		return true
+	}
+	denom := math.Max(math.Abs(prev), 1e-12)
+	if minimize {
+		return (prev-next)/denom > eps
+	}
+	return (next-prev)/denom > eps
+}
+
+// regionState is the shared state of one sampling round.
+type regionState struct {
+	t      *Tuner
+	spec   RegionSpec
+	seed   int64
+	n      int // sample groups
+	k      int // folds per group (1 without CV)
+	store  *store.Agg
+	incs   map[string]agg.Incremental
+	shared []*svgShared // per-group shared draws under CV
+
+	mu       sync.Mutex
+	scoreSum []float64
+	scoreCnt []int
+	params   []map[string]float64
+	pruned   []bool
+	errs     []error
+	launched int
+	done     int
+	total    int // launched target; reduced if the budget cuts the round
+	barrier  *barrier
+
+	// Incremental aggregation (Sec. IV-B): sampling processes copy their
+	// results into a bounded shared ring; the tuning-process side drains it
+	// and folds values into the aggregators, so at most ringCap values are
+	// in flight instead of one per sample.
+	ring     *agg.Ring
+	ringDone chan struct{}
+}
+
+// ringItem is one committed (variable, value) pair in flight.
+type ringItem struct {
+	x string
+	v any
+}
+
+// ringCap bounds the in-flight results of incremental aggregation.
+const ringCap = 8
+
+// drainRing is the tuning-process side of incremental aggregation.
+func (rs *regionState) drainRing() {
+	defer close(rs.ringDone)
+	for {
+		items, ok := rs.ring.WaitDrain()
+		if !ok {
+			return
+		}
+		for _, it := range items {
+			item := it.(ringItem)
+			rs.incs[item.x].Add(item.v)
+		}
+	}
+}
+
+// runRound executes one sampling round of n sample groups.
+func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*Result, error) {
+	t := p.t
+	t.mu.Lock()
+	t.metrics.Rounds++
+	t.mu.Unlock()
+	t.opts.Trace.add(Event{Kind: EvRoundStart, Region: spec.Name, PID: p.pid, Round: round, Sample: -1, N: n})
+
+	// The tuning process pauses for the duration of the region (execution
+	// model step 4): it hands its pool slot back so its sampling processes
+	// can use it — Algorithm 1 adjusts poolSize around wait() the same way.
+	t.sched.Release()
+	defer t.sched.Acquire(sched.SpawnT, 0)
+
+	k := spec.CV
+	if k < 2 {
+		k = 1
+	}
+	rs := &regionState{
+		t:        t,
+		spec:     spec,
+		seed:     t.regionSeed(spec.Name, round),
+		n:        n,
+		k:        k,
+		store:    store.NewAgg(),
+		incs:     make(map[string]agg.Incremental),
+		scoreSum: make([]float64, n),
+		scoreCnt: make([]int, n),
+		params:   make([]map[string]float64, n),
+		pruned:   make([]bool, n),
+		errs:     make([]error, n),
+		total:    n * k,
+	}
+	for x, kind := range spec.Aggregate {
+		if kind == agg.Custom {
+			continue
+		}
+		a, err := agg.New(kind)
+		if err != nil {
+			return nil, err
+		}
+		rs.incs[x] = a
+	}
+	if k > 1 {
+		rs.shared = make([]*svgShared, n)
+		for g := range rs.shared {
+			rs.shared[g] = &svgShared{vals: make(map[string]float64)}
+		}
+	}
+	rs.barrier = newBarrier(rs)
+	if t.opts.Incremental && len(rs.incs) > 0 {
+		rs.ring = agg.NewRing(ringCap)
+		rs.ringDone = make(chan struct{})
+		go rs.drainRing()
+	}
+
+	fb := t.feedbackFor(spec.Name, spec.Minimize)
+
+	var wg sync.WaitGroup
+launch:
+	for g := 0; g < n; g++ {
+		// A region always launches at least one sample group, even with
+		// the budget already spent — otherwise a tight budget would
+		// produce no result at all instead of a cheap one.
+		if g > 0 && t.BudgetExceeded() {
+			// Stop launching; un-launched groups count as pruned.
+			rs.mu.Lock()
+			for gg := g; gg < n; gg++ {
+				rs.pruned[gg] = true
+			}
+			rs.total = rs.launched
+			rs.mu.Unlock()
+			rs.barrier.maybeRelease()
+			break launch
+		}
+		sampler := spec.Strategy.Sampler(rs.seed, g, n, fb)
+		for f := 0; f < k; f++ {
+			t.sched.Acquire(sched.SpawnS, n-g)
+			rs.mu.Lock()
+			rs.launched++
+			rs.mu.Unlock()
+			wg.Add(1)
+			go func(g, f int, sampler strategy.Sampler) {
+				defer wg.Done()
+				defer t.sched.Release()
+				rs.runSP(g, f, sampler, body)
+			}(g, f, sampler)
+		}
+	}
+	wg.Wait()
+	if rs.ring != nil {
+		// All producers are done: flush the ring and wait for the drain
+		// loop to fold the tail into the aggregators.
+		rs.ring.Close()
+		<-rs.ringDone
+	}
+
+	return rs.finish()
+}
+
+// finish assembles the Result after all sampling processes of a round are
+// done, records feedback, and updates the memory metric.
+func (rs *regionState) finish() (*Result, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+
+	scores := make([]float64, rs.n)
+	for g := 0; g < rs.n; g++ {
+		if rs.scoreCnt[g] == 0 {
+			scores[g] = math.NaN()
+			continue
+		}
+		scores[g] = rs.scoreSum[g] / float64(rs.scoreCnt[g])
+	}
+
+	// Feedback for future rounds of this region.
+	var fb []strategy.Feedback
+	for g := 0; g < rs.n; g++ {
+		if !math.IsNaN(scores[g]) && rs.params[g] != nil {
+			fb = append(fb, strategy.Feedback{Params: rs.params[g], Score: scores[g]})
+		}
+	}
+	rs.t.addFeedback(rs.spec.Name, fb, rs.spec.Minimize)
+
+	// Memory metric: values retained in the store, aggregator state, and
+	// the ring's high-water mark of in-flight results.
+	retained := int64(rs.store.Total())
+	for _, a := range rs.incs {
+		retained += int64(a.Retained())
+	}
+	if rs.ring != nil {
+		retained += int64(rs.ring.Peak())
+	}
+	rs.t.notePeakRetained(retained)
+
+	aggregated := make(map[string]any, len(rs.incs))
+	for x, a := range rs.incs {
+		aggregated[x] = a.Result()
+	}
+
+	res := &Result{
+		n:          rs.n,
+		store:      rs.store,
+		aggregated: aggregated,
+		params:     rs.params,
+		scores:     scores,
+		pruned:     rs.pruned,
+		errs:       rs.errs,
+		minimize:   rs.spec.Minimize,
+	}
+
+	allFailed := true
+	for g := 0; g < rs.n; g++ {
+		if rs.errs[g] == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed && rs.n > 0 {
+		return res, fmt.Errorf("core: region %q: every sampling process failed: %w",
+			rs.spec.Name, errors.Join(rs.errs...))
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/store"
+)
+
+// Result is the tuning process's view of a finished sampling region: the
+// aggregation store (rules [LOADSAMPLE]), the built-in aggregates (rule
+// [AGGR-T]), and per-sample params, scores, and statuses.
+type Result struct {
+	n          int
+	store      *store.Agg
+	aggregated map[string]any
+	params     []map[string]float64
+	scores     []float64
+	pruned     []bool
+	errs       []error
+	minimize   bool
+}
+
+// N reports the number of sample slots in the region (including pruned and
+// failed ones).
+func (r *Result) N() int { return r.n }
+
+// Len reports how many samples committed variable x.
+func (r *Result) Len(x string) int { return r.store.Len(x) }
+
+// Value loads the i-th sample outcome of x (the @loadS primitive). The
+// boolean is false when sample i was pruned, failed, or never committed x.
+func (r *Result) Value(x string, i int) (any, bool) { return r.store.Get(x, i) }
+
+// MustValue is Value for outcomes known to exist; it panics otherwise.
+func (r *Result) MustValue(x string, i int) any {
+	v, ok := r.store.Get(x, i)
+	if !ok {
+		panic("core: no sample outcome for " + x)
+	}
+	return v
+}
+
+// Values returns all committed outcomes of x ordered by sample index.
+func (r *Result) Values(x string) []any { return r.store.Vec(x) }
+
+// Indices returns the sample indices that committed x, ascending.
+func (r *Result) Indices(x string) []int { return r.store.Indices(x) }
+
+// Vars returns the names of all committed sample result variables.
+func (r *Result) Vars() []string { return r.store.Vars() }
+
+// Aggregated returns the built-in aggregate of x, or nil when x had no
+// built-in aggregation strategy or no sample committed it. The dynamic type
+// matches the committed values: float64 for scalars, []float64 for vectors,
+// []any for DEDUP.
+func (r *Result) Aggregated(x string) any { return r.aggregated[x] }
+
+// Params returns the parameter configuration drawn by sample i, or nil if
+// the sample never completed.
+func (r *Result) Params(i int) map[string]float64 {
+	if r.params[i] == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(r.params[i]))
+	for k, v := range r.params[i] {
+		out[k] = v
+	}
+	return out
+}
+
+// Score returns sample i's score (averaged over cross-validation folds),
+// or NaN when the sample was pruned, failed, or the region has no Score.
+func (r *Result) Score(i int) float64 { return r.scores[i] }
+
+// Scores returns a copy of all per-sample scores.
+func (r *Result) Scores() []float64 { return append([]float64(nil), r.scores...) }
+
+// Pruned reports whether sample i was pruned by Check (or cut by the work
+// budget before launching).
+func (r *Result) Pruned(i int) bool { return r.pruned[i] }
+
+// Err returns the contained failure of sample i, if any.
+func (r *Result) Err(i int) error { return r.errs[i] }
+
+// BestIndex returns the index of the best-scoring sample with respect to
+// the region's Minimize flag, or -1 when no sample was scored.
+func (r *Result) BestIndex() int {
+	best := -1
+	for i, s := range r.scores {
+		if math.IsNaN(s) {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		if r.minimize && s < r.scores[best] || !r.minimize && s > r.scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestScore returns the best sample score, or NaN when nothing was scored.
+func (r *Result) BestScore() float64 {
+	i := r.BestIndex()
+	if i < 0 {
+		return math.NaN()
+	}
+	return r.scores[i]
+}
+
+// BestParams returns the parameter configuration of the best-scoring
+// sample, or nil when nothing was scored.
+func (r *Result) BestParams() map[string]float64 {
+	i := r.BestIndex()
+	if i < 0 {
+		return nil
+	}
+	return r.Params(i)
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/sched"
+	"repro/internal/strategy"
+)
+
+// prunePanic is the sentinel used by Check to unwind a pruned sampling
+// process; it never escapes the runtime.
+type prunePanic struct{}
+
+// SP is a sampling process (mode S⟨pid⟩): one worker executing the body of
+// a sampling region with one drawn parameter configuration. An SP and
+// everything reachable only through it is confined to its goroutine.
+type SP struct {
+	rs      *regionState
+	group   int
+	fold    int
+	sampler strategy.Sampler
+	shared  *svgShared
+
+	params  map[string]float64
+	commits map[string]any
+	pruned  bool
+	score   float64
+	scored  bool
+}
+
+// Index returns this sampling process's sample index within the region
+// (the SVG index under cross-validation).
+func (sp *SP) Index() int { return sp.group }
+
+// Fold returns the cross-validation fold of this process and the total
+// fold count k. Without cross-validation it returns (0, 1).
+func (sp *SP) Fold() (fold, k int) { return sp.fold, sp.rs.k }
+
+// Float draws the tunable variable name from d (rule [SAMPLE]). Drawing
+// the same name again returns the already-drawn value, and under
+// cross-validation all processes of one SVG share the same draw.
+func (sp *SP) Float(name string, d dist.Dist) float64 {
+	if v, ok := sp.params[name]; ok {
+		return v
+	}
+	var v float64
+	if sp.shared != nil {
+		v = sp.shared.draw(name, sp.sampler, d)
+	} else {
+		v = sp.sampler.Draw(name, d)
+	}
+	sp.params[name] = v
+	return v
+}
+
+// Int draws an integer-valued tunable variable.
+func (sp *SP) Int(name string, d dist.Dist) int {
+	return int(math.Round(sp.Float(name, d)))
+}
+
+// Pick draws one of the given options as a tunable variable.
+func Pick[T any](sp *SP, name string, options []T) T {
+	i := sp.Int(name, dist.Choice(len(options)))
+	return options[i]
+}
+
+// Params returns a copy of every parameter this process has drawn so far.
+func (sp *SP) Params() map[string]float64 {
+	out := make(map[string]float64, len(sp.params))
+	for k, v := range sp.params {
+		out[k] = v
+	}
+	return out
+}
+
+// Commit submits the sample result variable x (rule [AGGR-S]). The value
+// becomes visible in the tuning process's aggregation store when this
+// sampling process finishes. Committing x again overwrites.
+//
+// Values of type float64 and []float64 participate in the built-in
+// aggregation strategies; any type may be committed for custom aggregation.
+func (sp *SP) Commit(x string, v any) {
+	sp.commits[x] = v
+}
+
+// Get reads back a value this process has committed; Score callbacks use it.
+func (sp *SP) Get(x string) (any, bool) {
+	v, ok := sp.commits[x]
+	return v, ok
+}
+
+// MustGet is Get for values known to be committed; it panics otherwise.
+func (sp *SP) MustGet(x string) any {
+	v, ok := sp.commits[x]
+	if !ok {
+		panic(fmt.Sprintf("core: sample variable %q was not committed", x))
+	}
+	return v
+}
+
+// Check prunes this sampling process if ok is false (rule [CHECK]): the
+// run terminates immediately, commits nothing, and is excluded from
+// aggregation. Pruning long before the aggregation point is the white-box
+// advantage black-box tuning cannot express.
+func (sp *SP) Check(ok bool) {
+	if !ok {
+		panic(prunePanic{})
+	}
+}
+
+// CheckFn is Check with a deferred condition, mirroring the cbChk callback.
+func (sp *SP) CheckFn(fn func() bool) { sp.Check(fn()) }
+
+// Work accounts units of computation performed by this sampling process;
+// sampling-process work is parallelizable across the pool.
+func (sp *SP) Work(units float64) { sp.rs.t.addWork(units, true) }
+
+// Load reads an exposed global-scope variable from inside a sampling
+// process; the exposed store is shared with the tuning process.
+func (sp *SP) Load(name string) any { return sp.rs.t.exposed.MustGet(globalScope, name) }
+
+// Sync blocks until every live sampling process of the region has reached
+// the barrier, runs cb once on behalf of the tuning process (rule
+// [SYNC-T]), and then releases all waiters (rule [SYNC-S]). Every sampling
+// process of the region must call Sync the same number of times; processes
+// that finish or are pruned stop counting toward the barrier.
+//
+// While blocked the process gives its scheduler slot back (Algorithm 1's
+// wait() adjusts poolSize the same way), so a region larger than the pool
+// cannot deadlock on its own barrier.
+func (sp *SP) Sync(cb func(v *SyncView)) {
+	t := sp.rs.t
+	t.sched.Release()
+	sp.rs.barrier.arrive(sp, cb)
+	t.sched.Acquire(sched.SpawnS, 0)
+}
+
+// svgShared holds the parameter draws shared by the k processes of one
+// sampling-and-validation group (Sec. IV-A): same sample values, different
+// folds.
+type svgShared struct {
+	mu   sync.Mutex
+	vals map[string]float64
+}
+
+func (s *svgShared) draw(name string, sampler strategy.Sampler, d dist.Dist) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vals[name]; ok {
+		return v
+	}
+	v := sampler.Draw(name, d)
+	s.vals[name] = v
+	return v
+}
+
+// runSP executes one sampling process: draw, compute, commit, score.
+func (rs *regionState) runSP(g, f int, sampler strategy.Sampler, body func(sp *SP) error) {
+	t := rs.t
+	t.mu.Lock()
+	t.metrics.Samples++
+	t.mu.Unlock()
+
+	sp := &SP{
+		rs:      rs,
+		group:   g,
+		fold:    f,
+		sampler: sampler,
+		params:  make(map[string]float64),
+		commits: make(map[string]any),
+	}
+	if rs.shared != nil {
+		sp.shared = rs.shared[g]
+	}
+
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(prunePanic); ok {
+					sp.pruned = true
+					t.mu.Lock()
+					t.metrics.Pruned++
+					t.mu.Unlock()
+					return
+				}
+				err = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v", g, f, r)
+				t.mu.Lock()
+				t.metrics.Panics++
+				t.mu.Unlock()
+			}
+		}()
+		err = body(sp)
+		if err == nil && rs.spec.Score != nil {
+			sp.score = rs.spec.Score(sp)
+			sp.scored = true
+		}
+	}()
+
+	rs.spDone(sp, err)
+}
+
+// spDone commits the finished sampling process's results into the region
+// (the parent side of rule [AGGR-S]) and advances the barrier bookkeeping.
+func (rs *regionState) spDone(sp *SP, err error) {
+	switch {
+	case err != nil:
+		rs.t.opts.Trace.add(Event{Kind: EvSampleFailed, Region: rs.spec.Name,
+			Sample: sp.group, Err: err.Error()})
+	case sp.pruned:
+		rs.t.opts.Trace.add(Event{Kind: EvSamplePruned, Region: rs.spec.Name, Sample: sp.group})
+	default:
+		rs.t.opts.Trace.add(Event{Kind: EvSampleDone, Region: rs.spec.Name,
+			Sample: sp.group, Score: sp.score})
+	}
+	rs.mu.Lock()
+	g := sp.group
+	switch {
+	case err != nil:
+		if rs.errs[g] == nil {
+			rs.errs[g] = err
+		}
+	case sp.pruned:
+		rs.pruned[g] = true
+	default:
+		if rs.params[g] == nil {
+			rs.params[g] = sp.Params()
+		}
+		if sp.fold == 0 {
+			for x, v := range sp.commits {
+				if _, ok := rs.incs[x]; ok {
+					if rs.ring != nil {
+						// Incremental path: hand the value to the tuning
+						// process through the bounded ring and do not
+						// retain it.
+						rs.ring.Put(ringItem{x: x, v: v})
+						continue
+					}
+					rs.incs[x].Add(v)
+				}
+				rs.store.Put(x, g, v)
+			}
+		}
+		if sp.scored {
+			rs.scoreSum[g] += sp.score
+			rs.scoreCnt[g]++
+		}
+	}
+	rs.done++
+	rs.mu.Unlock()
+	rs.barrier.maybeRelease()
+}
+
+// SyncView is what a barrier callback sees: the sampling processes blocked
+// at the barrier, with their drawn parameters and the values they have
+// committed so far.
+type SyncView struct{ sps []*SP }
+
+// Count reports how many sampling processes reached the barrier.
+func (v *SyncView) Count() int { return len(v.sps) }
+
+// Sample returns the sample index of the i-th arrived process.
+func (v *SyncView) Sample(i int) int { return v.sps[i].group }
+
+// Params returns the parameters drawn so far by the i-th arrived process.
+func (v *SyncView) Params(i int) map[string]float64 { return v.sps[i].Params() }
+
+// Value reads a value the i-th arrived process has committed so far.
+func (v *SyncView) Value(i int, x string) (any, bool) { return v.sps[i].Get(x) }
+
+// barrier implements the @sync rendezvous for one region. Release happens
+// when every not-yet-finished sampling process of the region has arrived.
+type barrier struct {
+	rs *regionState
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+	arrived []*SP
+	cb      func(v *SyncView)
+}
+
+func newBarrier(rs *regionState) *barrier { return &barrier{rs: rs} }
+
+func (b *barrier) arrive(sp *SP, cb func(v *SyncView)) {
+	ch := make(chan struct{})
+	b.mu.Lock()
+	b.waiters = append(b.waiters, ch)
+	b.arrived = append(b.arrived, sp)
+	b.cb = cb
+	b.mu.Unlock()
+	b.maybeRelease()
+	<-ch
+}
+
+// maybeRelease releases the barrier when the arrived set equals the set of
+// live (launched or still to launch, not finished) sampling processes.
+func (b *barrier) maybeRelease() {
+	b.rs.mu.Lock()
+	pending := b.rs.total - b.rs.done
+	b.rs.mu.Unlock()
+
+	b.mu.Lock()
+	if len(b.waiters) == 0 || len(b.waiters) != pending {
+		b.mu.Unlock()
+		return
+	}
+	cb := b.cb
+	sps := b.arrived
+	waiters := b.waiters
+	b.waiters, b.arrived, b.cb = nil, nil, nil
+	b.mu.Unlock()
+
+	if cb != nil {
+		cb(&SyncView{sps: sps})
+	}
+	for _, ch := range waiters {
+		close(ch)
+	}
+}

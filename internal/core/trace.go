@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies a trace event.
+type EventKind int
+
+// Trace event kinds, in rough lifecycle order.
+const (
+	// EvRegionStart marks a Region call entering its tuning role.
+	EvRegionStart EventKind = iota
+	// EvRoundStart marks one sampling round (auto-tuned sampling runs
+	// several rounds per region).
+	EvRoundStart
+	// EvSampleDone marks a sampling process that committed its results.
+	EvSampleDone
+	// EvSamplePruned marks a sampling process terminated by Check.
+	EvSamplePruned
+	// EvSampleFailed marks a sampling process that returned an error or
+	// panicked.
+	EvSampleFailed
+	// EvRegionEnd marks the aggregation point of a region.
+	EvRegionEnd
+	// EvSplit marks a child tuning process spawned with Split.
+	EvSplit
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvRegionStart:
+		return "region-start"
+	case EvRoundStart:
+		return "round-start"
+	case EvSampleDone:
+		return "sample-done"
+	case EvSamplePruned:
+		return "sample-pruned"
+	case EvSampleFailed:
+		return "sample-failed"
+	case EvRegionEnd:
+		return "region-end"
+	case EvSplit:
+		return "split"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observation of the runtime: which tuning process did what in
+// which region. Sample is the sample index within its round (-1 when not
+// applicable); N carries the round size for EvRoundStart.
+type Event struct {
+	Kind   EventKind
+	Region string
+	PID    int64
+	Round  int
+	Sample int
+	N      int
+	Score  float64
+	Err    string
+}
+
+// Trace collects runtime events when installed via Options.Trace. It is
+// safe for concurrent use; collection order is the runtime's completion
+// order, not sample index order.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (tr *Trace) add(e Event) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, e)
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far. A nil trace has no
+// events.
+func (tr *Trace) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]Event(nil), tr.events...)
+}
+
+// regionSummary aggregates a region's events for rendering.
+type regionSummary struct {
+	name    string
+	rounds  int
+	samples int
+	pruned  int
+	failed  int
+	first   int // arrival order for stable rendering
+}
+
+// Tree renders the tuning structure the trace observed — the textual
+// equivalent of the paper's Fig. 6 tuning-model diagram: one line per
+// region (aggregated over all tuning processes that ran it) plus the split
+// count.
+func (tr *Trace) Tree() string {
+	events := tr.Events()
+
+	regions := map[string]*regionSummary{}
+	order := 0
+	splits := 0
+	for _, e := range events {
+		if e.Kind == EvSplit {
+			splits++
+			continue
+		}
+		if e.Region == "" {
+			continue
+		}
+		rs, ok := regions[e.Region]
+		if !ok {
+			rs = &regionSummary{name: e.Region, first: order}
+			order++
+			regions[e.Region] = rs
+		}
+		switch e.Kind {
+		case EvRoundStart:
+			rs.rounds++
+		case EvSampleDone:
+			rs.samples++
+		case EvSamplePruned:
+			rs.pruned++
+		case EvSampleFailed:
+			rs.failed++
+		}
+	}
+	list := make([]*regionSummary, 0, len(regions))
+	for _, rs := range regions {
+		list = append(list, rs)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].first < list[j].first })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "tuning tree (%d splits)\n", splits)
+	for _, rs := range list {
+		fmt.Fprintf(&b, "  region %-14s rounds=%d samples=%d pruned=%d failed=%d\n",
+			rs.name, rs.rounds, rs.samples, rs.pruned, rs.failed)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+// Package dbscan implements density-based clustering (Ester et al., KDD
+// 1996). Its two tunable parameters — the neighborhood radius eps and the
+// core-point threshold minPts — are sampled with MCMC and aggregated with
+// MAX over the silhouette score, matching Table I.
+package dbscan
+
+import "repro/internal/points"
+
+// Params are DBSCAN's tunables.
+type Params struct {
+	Eps    float64
+	MinPts int
+}
+
+// Noise is the label of points assigned to no cluster.
+const Noise = -1
+
+// WorkPerPoint is the work-unit cost per point clustered.
+const WorkPerPoint = 0.02
+
+// Run clusters pts and returns a label per point (cluster ids from 0, or
+// Noise). The classic algorithm: core points (>= MinPts neighbors within
+// Eps) grow clusters through density-reachability.
+func Run(pts []points.Point, p Params) []int {
+	if p.Eps <= 0 || p.MinPts < 1 {
+		panic("dbscan: invalid params")
+	}
+	n := len(pts)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		nb := neighbors(pts, i, p.Eps)
+		if len(nb) < p.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = next
+		// Expand the cluster via a worklist of density-reachable points.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = next // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = next
+			nb2 := neighbors(pts, j, p.Eps)
+			if len(nb2) >= p.MinPts {
+				queue = append(queue, nb2...)
+			}
+		}
+		next++
+	}
+	return labels
+}
+
+// neighbors returns the indices within eps of point i (including i itself,
+// per the standard definition).
+func neighbors(pts []points.Point, i int, eps float64) []int {
+	var out []int
+	for j := range pts {
+		if points.Dist(pts[i], pts[j]) <= eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// NumClusters reports the number of clusters in a labelling.
+func NumClusters(labels []int) int {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}
+
+// Score is the internal tuning score: silhouette of the non-noise points,
+// penalized by the noise fraction so that labelling everything noise (or
+// one giant cluster) cannot win.
+func Score(pts []points.Point, labels []int) float64 {
+	sil := points.Silhouette(pts, labels)
+	noise := 0
+	for _, l := range labels {
+		if l == Noise {
+			noise++
+		}
+	}
+	frac := float64(noise) / float64(len(labels))
+	return sil * (1 - frac)
+}
+
+// Quality is the external evaluation score: Rand index vs ground truth.
+func Quality(labels, truth []int) float64 {
+	return points.RandIndex(labels, truth)
+}

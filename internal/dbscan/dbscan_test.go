@@ -1,0 +1,107 @@
+package dbscan
+
+import (
+	"testing"
+
+	"repro/internal/points"
+)
+
+func TestRunRecoversClusters(t *testing.T) {
+	ds := points.Gen(1, 90, 3, 2, 0.05)
+	labels := Run(ds.Points, Params{Eps: 1.2, MinPts: 4})
+	if n := NumClusters(labels); n < 2 || n > 5 {
+		t.Fatalf("found %d clusters, expected ~3", n)
+	}
+	if q := Quality(labels, ds.Labels); q < 0.8 {
+		t.Fatalf("Rand index %g with sensible params", q)
+	}
+}
+
+func TestTinyEpsAllNoise(t *testing.T) {
+	ds := points.Gen(2, 40, 2, 2, 0)
+	labels := Run(ds.Points, Params{Eps: 1e-6, MinPts: 3})
+	for _, l := range labels {
+		if l != Noise {
+			t.Fatal("with eps ~ 0 everything should be noise")
+		}
+	}
+	if NumClusters(labels) != 0 {
+		t.Fatal("NumClusters should be 0")
+	}
+}
+
+func TestHugeEpsOneCluster(t *testing.T) {
+	ds := points.Gen(3, 40, 2, 2, 0)
+	labels := Run(ds.Points, Params{Eps: 1e6, MinPts: 3})
+	if n := NumClusters(labels); n != 1 {
+		t.Fatalf("with huge eps got %d clusters, want 1", n)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("point left out of the single cluster")
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	ds := points.Gen(4, 10, 2, 2, 0)
+	for _, p := range []Params{{Eps: 0, MinPts: 3}, {Eps: 1, MinPts: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("params %+v should panic", p)
+				}
+			}()
+			Run(ds.Points, p)
+		}()
+	}
+}
+
+func TestScorePenalizesDegenerateLabellings(t *testing.T) {
+	ds := points.Gen(5, 80, 3, 2, 0.05)
+	good := Run(ds.Points, Params{Eps: 1.2, MinPts: 4})
+	allNoise := Run(ds.Points, Params{Eps: 1e-6, MinPts: 3})
+	oneBlob := Run(ds.Points, Params{Eps: 1e6, MinPts: 3})
+	gs := Score(ds.Points, good)
+	if gs <= Score(ds.Points, allNoise) {
+		t.Fatalf("good labelling (%g) did not beat all-noise", gs)
+	}
+	if gs <= Score(ds.Points, oneBlob) {
+		t.Fatalf("good labelling (%g) did not beat one-blob", gs)
+	}
+}
+
+func TestBorderPointsJoinClusters(t *testing.T) {
+	// A line of points with one isolated point: the isolated one is noise,
+	// the line is one cluster including its low-density endpoints.
+	pts := []points.Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {100, 100}}
+	labels := Run(pts, Params{Eps: 1.5, MinPts: 3})
+	if labels[4] != Noise {
+		t.Fatal("isolated point not marked noise")
+	}
+	for i := 0; i < 4; i++ {
+		if labels[i] != 0 {
+			t.Fatalf("line point %d labelled %d", i, labels[i])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds := points.Gen(6, 60, 3, 2, 0.1)
+	a := Run(ds.Points, Params{Eps: 1.0, MinPts: 4})
+	b := Run(ds.Points, Params{Eps: 1.0, MinPts: 4})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DBSCAN not deterministic")
+		}
+	}
+}
+
+func TestParamsMatter(t *testing.T) {
+	ds := points.Gen(7, 90, 3, 2, 0.1)
+	good := Quality(Run(ds.Points, Params{Eps: 1.2, MinPts: 4}), ds.Labels)
+	bad := Quality(Run(ds.Points, Params{Eps: 6.0, MinPts: 2}), ds.Labels)
+	if good-bad < 0.05 {
+		t.Fatalf("eps barely matters: good=%g bad=%g", good, bad)
+	}
+}

@@ -1,0 +1,28 @@
+package dist
+
+import "math/rand"
+
+// NewRand returns a deterministic *rand.Rand derived from a base seed and a
+// stream index. Different streams are decorrelated by mixing the index with
+// a SplitMix64-style finalizer, so the i-th sampling process of a region gets
+// an independent, reproducible generator. The generator is warmed up before
+// being returned: the first outputs of math/rand's seeded source are
+// noticeably correlated across seeds, which would skew the very first
+// parameter draw of every sampling process in a region.
+func NewRand(seed int64, stream int64) *rand.Rand {
+	r := rand.New(rand.NewSource(int64(Mix(uint64(seed), uint64(stream)))))
+	for i := 0; i < 4; i++ {
+		r.Int63()
+	}
+	return r
+}
+
+// Mix combines two 64-bit values into a well-distributed 64-bit value using
+// the SplitMix64 finalizer. Exported so tests and workload generators can
+// derive independent sub-seeds the same way the runtime does.
+func Mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15*(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

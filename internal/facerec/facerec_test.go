@@ -1,0 +1,125 @@
+package facerec
+
+import (
+	"testing"
+)
+
+func gen() Dataset { return Gen(1, 10, 32, 5, 0.2) }
+
+func TestGenShape(t *testing.T) {
+	ds := gen()
+	if len(ds.Gallery) != 10 {
+		t.Fatalf("gallery size %d", len(ds.Gallery))
+	}
+	if len(ds.Probes) != 50+10 { // 10 subjects * 5 probes + 20% impostors
+		t.Fatalf("probes %d", len(ds.Probes))
+	}
+	impostors := 0
+	for _, id := range ds.ProbeIDs {
+		if id == -1 {
+			impostors++
+		}
+	}
+	if impostors != 10 {
+		t.Fatalf("impostors %d", impostors)
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := Gen(5, 4, 16, 2, 0)
+	b := Gen(5, 4, 16, 2, 0)
+	for i := range a.Gallery {
+		for d := range a.Gallery[i] {
+			if a.Gallery[i][d] != b.Gallery[i][d] {
+				t.Fatal("Gen not deterministic")
+			}
+		}
+	}
+}
+
+// bestThreshold sweeps the rejection threshold for a component count and
+// returns the best error — the search the tuner automates.
+func bestThreshold(ds Dataset, comps int) (thr, err float64) {
+	err = 2
+	for _, cand := range []float64{1, 2, 3, 4, 5, 6, 8, 12} {
+		e := Error(ds, Train(ds, Params{Components: comps, Exponent: 2, Threshold: cand}))
+		if e < err {
+			thr, err = cand, e
+		}
+	}
+	return thr, err
+}
+
+func TestGoodParamsBeatDefault(t *testing.T) {
+	ds := gen()
+	// Default keeps only 8 of 32 dims with an effectively infinite
+	// threshold: impostors are never rejected, so the error floor is the
+	// impostor fraction.
+	defErr := Error(ds, Train(ds, DefaultParams()))
+	_, tunedErr := bestThreshold(ds, 16)
+	if tunedErr >= defErr {
+		t.Fatalf("tuned error %g >= default %g", tunedErr, defErr)
+	}
+}
+
+func TestComponentsAndThresholdInteract(t *testing.T) {
+	// Adding the nuisance dimensions inflates every distance, so the
+	// threshold tuned for 16 components rejects genuines at 32 — the kind
+	// of cross-stage parameter interaction that makes joint tuning hard
+	// for a black box.
+	ds := gen()
+	thr, goodErr := bestThreshold(ds, 16)
+	allErr := Error(ds, Train(ds, Params{Components: 32, Exponent: 2, Threshold: thr}))
+	if allErr <= goodErr {
+		t.Fatalf("nuisance dims at the 16-comp threshold should hurt: all=%g good=%g", allErr, goodErr)
+	}
+}
+
+func TestThresholdTradesOffImpostors(t *testing.T) {
+	ds := gen()
+	// A tiny threshold rejects everyone: every genuine probe errors, every
+	// impostor is correct.
+	m := Train(ds, Params{Components: 16, Exponent: 2, Threshold: 1e-6})
+	genuine := 0
+	for _, id := range ds.ProbeIDs {
+		if id >= 0 {
+			genuine++
+		}
+	}
+	wantErr := float64(genuine) / float64(len(ds.Probes))
+	if got := Error(ds, m); got != wantErr {
+		t.Fatalf("tiny threshold error = %g, want %g", got, wantErr)
+	}
+}
+
+func TestParamClamping(t *testing.T) {
+	ds := Gen(2, 3, 8, 2, 0)
+	// Components out of range and absurd exponent must be clamped, not
+	// crash.
+	m := Train(ds, Params{Components: 99, Exponent: 0.01, Threshold: 1e9})
+	if got := m.Identify(ds.Probes[0]); got < 0 || got >= 3 {
+		t.Fatalf("Identify returned %d", got)
+	}
+	m2 := Train(ds, Params{Components: 0, Exponent: 2, Threshold: 1e9})
+	_ = Error(ds, m2)
+}
+
+func TestGenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gen(1, 1, 8, 2, 0)
+}
+
+func TestIdentifyPerfectOnEnrollment(t *testing.T) {
+	ds := Gen(3, 6, 24, 3, 0)
+	m := Train(ds, Params{Components: 12, Exponent: 2, Threshold: 1e9})
+	// The gallery vectors themselves must identify as their subjects.
+	for s, g := range ds.Gallery {
+		if got := m.Identify(g); got != s {
+			t.Fatalf("enrollment vector of subject %d identified as %d", s, got)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fasta
+
+import (
+	"testing"
+)
+
+func TestGenShape(t *testing.T) {
+	ds := Gen(1, 64, 20)
+	if len(ds.Query) != 64 || len(ds.DB) != 20 {
+		t.Fatalf("shape: query %d, db %d", len(ds.Query), len(ds.DB))
+	}
+	if ds.Homolog < 0 || ds.Homolog >= 20 {
+		t.Fatalf("homolog index %d", ds.Homolog)
+	}
+	for _, s := range ds.DB {
+		for _, c := range s {
+			if c != 'A' && c != 'C' && c != 'G' && c != 'T' {
+				t.Fatalf("bad base %c", c)
+			}
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := Gen(3, 64, 10)
+	b := Gen(3, 64, 10)
+	if string(a.Query) != string(b.Query) || a.Homolog != b.Homolog {
+		t.Fatal("Gen not deterministic")
+	}
+}
+
+func TestAlignIdentity(t *testing.T) {
+	s := []byte("ACGTACGTACGT")
+	p := Params{GapOpen: 5, GapExtend: 1}
+	if got := Align(s, s, p); got != float64(len(s)*2) {
+		t.Fatalf("self alignment = %g, want %d", got, len(s)*2)
+	}
+}
+
+func TestAlignNeverNegative(t *testing.T) {
+	p := Params{GapOpen: 5, GapExtend: 1}
+	if got := Align([]byte("AAAA"), []byte("TTTT"), p); got < 0 {
+		t.Fatalf("local alignment score %g < 0", got)
+	}
+}
+
+func TestAlignSymmetric(t *testing.T) {
+	a := []byte("ACGTTTACGGA")
+	b := []byte("ACGTAGGGA")
+	p := Params{GapOpen: 4, GapExtend: 1}
+	if Align(a, b, p) != Align(b, a, p) {
+		t.Fatal("alignment not symmetric")
+	}
+}
+
+func TestAffineGapsBeatLinearForIndels(t *testing.T) {
+	// A mid-sequence deletion: with a moderate open and cheap extend the
+	// alignment bridges the gap and scores both flanks; with expensive
+	// gaps (the default) it can only keep one flank.
+	a := []byte("ACGTTGCATGCA" + "GGGG" + "TTCAGCATGCAT")
+	gapB := []byte("ACGTTGCATGCA" + "TTCAGCATGCAT") // a with GGGG deleted
+	affine := Align(a, gapB, Params{GapOpen: 4, GapExtend: 0.5})
+	costly := Align(a, gapB, Params{GapOpen: 10, GapExtend: 10})
+	if affine <= costly {
+		t.Fatalf("affine gaps should score the gapped homolog higher: %g vs %g", affine, costly)
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Align([]byte("AC"), []byte("AC"), Params{GapOpen: -1, GapExtend: 1})
+}
+
+func TestSearchSortedBestFirst(t *testing.T) {
+	ds := Gen(4, 48, 12)
+	hits := Search(ds, Params{GapOpen: 4, GapExtend: 1})
+	if len(hits) != 12 {
+		t.Fatalf("hits %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted")
+		}
+	}
+}
+
+func TestHomologIsTopHitWithGoodParams(t *testing.T) {
+	wins := 0
+	for seed := int64(0); seed < 5; seed++ {
+		ds := Gen(seed, 64, 16)
+		hits := Search(ds, Params{GapOpen: 4, GapExtend: 0.5})
+		if hits[0].Index == ds.Homolog {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("homolog found on only %d/5 workloads", wins)
+	}
+}
+
+func TestSeparationOrdersParams(t *testing.T) {
+	// Good gap parameters should separate the homolog more than terrible
+	// ones, averaged over workloads.
+	better := 0
+	for seed := int64(0); seed < 5; seed++ {
+		ds := Gen(seed, 64, 16)
+		good := Separation(Search(ds, Params{GapOpen: 4, GapExtend: 0.5}))
+		bad := Separation(Search(ds, Params{GapOpen: 0, GapExtend: 0}))
+		if good > bad {
+			better++
+		}
+	}
+	if better < 4 {
+		t.Fatalf("good params separated better on only %d/5 workloads", better)
+	}
+}
+
+func TestQualityZeroWhenWrongTopHit(t *testing.T) {
+	ds := Gen(6, 48, 10)
+	hits := Search(ds, Params{GapOpen: 4, GapExtend: 1})
+	// Force a wrong top hit.
+	for i := range hits {
+		if hits[i].Index != ds.Homolog {
+			hits[0], hits[i] = hits[i], hits[0]
+			break
+		}
+	}
+	if Quality(ds, hits) != 0 {
+		t.Fatal("Quality should be 0 for a wrong top hit")
+	}
+}
+
+func TestSeparationDegenerate(t *testing.T) {
+	if Separation([]Hit{{0, 1}, {1, 1}}) != 0 {
+		t.Fatal("separation of tiny hit list should be 0")
+	}
+	same := []Hit{{0, 5}, {1, 5}, {2, 5}, {3, 5}}
+	if Separation(same) != 0 {
+		t.Fatal("zero spread should yield 0")
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gen(1, 4, 10)
+}

@@ -1,0 +1,38 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePGM writes the image as a binary PGM (P5), the simplest viewable
+// grayscale format; examples use it to dump inputs and edge maps.
+func (m Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	for _, v := range m.Pix {
+		b := byte(math.Min(255, math.Max(0, math.Round(v*255))))
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the image to a PGM file.
+func (m Image) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.WritePGM(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,164 @@
+// Package kmeans implements Lloyd's K-means clustering (MacQueen 1967) with
+// the iteration loop exposed step by step, so the white-box tuner can prune
+// a sample run mid-iteration (@check) — the paper's example of terminating
+// useless sample runs "long before they get to the aggregation point".
+//
+// The single tunable parameter is K, sampled with MCMC and aggregated with
+// MAX over the silhouette score, matching Table I.
+package kmeans
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/points"
+)
+
+// State is an in-progress K-means run.
+type State struct {
+	pts     []points.Point
+	Centers []points.Point
+	Labels  []int
+	Iter    int
+	prev    float64 // previous inertia, +Inf before the first step
+	moved   bool
+}
+
+// WorkPerIter is the work-unit cost of one Lloyd iteration (the load /
+// preprocessing cost is charged separately by the harness).
+const WorkPerIter = 1.0
+
+// Init seeds a run with k-means++ style initialization, deterministic in
+// seed. k must be at least 1 and at most the number of points.
+func Init(pts []points.Point, k int, seed int64) *State {
+	if k < 1 || k > len(pts) {
+		panic("kmeans: k out of range")
+	}
+	r := rand.New(rand.NewSource(int64(dist.Mix(uint64(seed), uint64(k)))))
+	centers := make([]points.Point, 0, k)
+	// First center uniform, the rest distance-weighted (k-means++).
+	first := r.Intn(len(pts))
+	centers = append(centers, clone(pts[first]))
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range pts {
+			best := points.Dist(p, centers[0])
+			for _, c := range centers[1:] {
+				if d := points.Dist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		pick := r.Float64() * total
+		idx := 0
+		for i, w := range d2 {
+			pick -= w
+			if pick <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, clone(pts[idx]))
+	}
+	return &State{
+		pts:     pts,
+		Centers: centers,
+		Labels:  make([]int, len(pts)),
+		prev:    1e308,
+	}
+}
+
+func clone(p points.Point) points.Point {
+	return append(points.Point(nil), p...)
+}
+
+// Step runs one Lloyd iteration (assign + update) and reports whether any
+// assignment changed; callers iterate until convergence or an iteration cap.
+func (s *State) Step() bool {
+	s.moved = false
+	for i, p := range s.pts {
+		best, bestD := 0, points.Dist(p, s.Centers[0])
+		for c := 1; c < len(s.Centers); c++ {
+			if d := points.Dist(p, s.Centers[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if s.Labels[i] != best {
+			s.Labels[i] = best
+			s.moved = true
+		}
+	}
+	dim := len(s.pts[0])
+	sums := make([][]float64, len(s.Centers))
+	counts := make([]int, len(s.Centers))
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i, p := range s.pts {
+		c := s.Labels[i]
+		counts[c]++
+		for d := 0; d < dim; d++ {
+			sums[c][d] += p[d]
+		}
+	}
+	for c := range s.Centers {
+		if counts[c] == 0 {
+			continue // empty cluster keeps its center; Healthy reports it
+		}
+		for d := 0; d < dim; d++ {
+			s.Centers[c][d] = sums[c][d] / float64(counts[c])
+		}
+	}
+	s.Iter++
+	return s.moved
+}
+
+// Inertia is the current objective value.
+func (s *State) Inertia() float64 {
+	return points.Inertia(s.pts, s.Labels, s.Centers)
+}
+
+// Healthy reports whether the run is worth continuing: no empty clusters
+// and the objective still improving. This is the @check predicate of the
+// white-box tuning program.
+func (s *State) Healthy() bool {
+	counts := make([]int, len(s.Centers))
+	for _, l := range s.Labels {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c == 0 {
+			return false
+		}
+	}
+	in := s.Inertia()
+	improving := in < s.prev*0.9999 || s.Iter <= 1
+	s.prev = in
+	return improving || s.moved
+}
+
+// Run iterates to convergence (or maxIter) and returns the final state.
+func Run(pts []points.Point, k int, seed int64, maxIter int) *State {
+	s := Init(pts, k, seed)
+	for i := 0; i < maxIter; i++ {
+		if !s.Step() {
+			break
+		}
+	}
+	return s
+}
+
+// Score is the internal tuning score of a finished run: the silhouette
+// coefficient (higher is better). Tuning never sees the ground truth.
+func Score(s *State) float64 {
+	return points.Silhouette(s.pts, s.Labels)
+}
+
+// Quality is the external evaluation score: the Rand index against the
+// ground-truth labels (higher is better), used only for reporting.
+func Quality(s *State, truth []int) float64 {
+	return points.RandIndex(s.Labels, truth)
+}

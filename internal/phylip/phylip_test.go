@@ -1,0 +1,283 @@
+package phylip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenDatasetShapeAndDeterminism(t *testing.T) {
+	ds := GenDataset(1, 8)
+	if ds.N != 8 || len(ds.PObs) != 8 || len(ds.TrueD) != 8 {
+		t.Fatal("shape wrong")
+	}
+	for i := 0; i < 8; i++ {
+		if ds.PObs[i][i] != 0 {
+			t.Fatal("diagonal not zero")
+		}
+		for j := 0; j < 8; j++ {
+			if ds.PObs[i][j] != ds.PObs[j][i] {
+				t.Fatal("PObs not symmetric")
+			}
+			if i != j && (ds.PObs[i][j] <= 0 || ds.PObs[i][j] >= 1) {
+				t.Fatalf("PObs[%d][%d] = %g out of (0,1)", i, j, ds.PObs[i][j])
+			}
+		}
+	}
+	b := GenDataset(1, 8)
+	if ds.PObs[0][1] != b.PObs[0][1] {
+		t.Fatal("not deterministic")
+	}
+	c := GenDataset(2, 8)
+	if ds.PObs[0][1] == c.PObs[0][1] {
+		t.Fatal("seeds identical")
+	}
+}
+
+func TestTrueDistancesAreTreeMetric(t *testing.T) {
+	ds := GenDataset(3, 10)
+	// Four-point condition, spot-checked: for any 4 leaves, the two largest
+	// of the three pairings of pairwise sums are equal (within epsilon).
+	d := ds.TrueD
+	quad := [4]int{0, 3, 5, 9}
+	s1 := d[quad[0]][quad[1]] + d[quad[2]][quad[3]]
+	s2 := d[quad[0]][quad[2]] + d[quad[1]][quad[3]]
+	s3 := d[quad[0]][quad[3]] + d[quad[1]][quad[2]]
+	sums := []float64{s1, s2, s3}
+	// Find the two largest.
+	max1, max2 := math.Inf(-1), math.Inf(-1)
+	for _, s := range sums {
+		if s > max1 {
+			max1, max2 = s, max1
+		} else if s > max2 {
+			max2 = s
+		}
+	}
+	if math.Abs(max1-max2) > 1e-9 {
+		t.Fatalf("four-point condition violated: %v", sums)
+	}
+}
+
+func TestTransMatrixStochastic(t *testing.T) {
+	for _, ease := range []float64{0.1, 1, 10} {
+		m := TransMatrix(ease)
+		for i := 0; i < 4; i++ {
+			row := 0.0
+			for j := 0; j < 4; j++ {
+				row += m[i][j]
+				if m[i][j] < 0 {
+					t.Fatal("negative probability")
+				}
+			}
+			if math.Abs(row-1) > 1e-12 {
+				t.Fatalf("row sum %g", row)
+			}
+		}
+	}
+	// Larger ease = slower substitution per unit distance, so the diagonal
+	// (probability of no change) grows with ease.
+	if TransMatrix(10)[0][0] <= TransMatrix(0.5)[0][0] {
+		t.Fatal("ease does not slow substitution")
+	}
+}
+
+func TestQuantizeMatrixDedupsNearbyEase(t *testing.T) {
+	a := QuantizeMatrix(TransMatrix(1.00))
+	b := QuantizeMatrix(TransMatrix(1.001))
+	c := QuantizeMatrix(TransMatrix(3.0))
+	if a != b {
+		t.Fatal("nearly identical models should quantize equal")
+	}
+	if a == c {
+		t.Fatal("distinct models should quantize differently")
+	}
+}
+
+func TestDistMatrixInvertsGenerativeModel(t *testing.T) {
+	// Build clean observations from known params, then invert with the
+	// same params: distances must match the true ones closely.
+	ds := GenDataset(4, 9)
+	// Search the hidden params by brute force over a grid (the dataset
+	// hides them); the best grid point must recover distances well.
+	bestErr := math.Inf(1)
+	for ease := 0.5; ease <= 2.0; ease += 0.1 {
+		for invar := 0.05; invar <= 0.35; invar += 0.05 {
+			d := DistMatrix(ds.PObs, Params{Ease: ease, InvarFrac: invar, CVI: 1})
+			err := 0.0
+			for i := 0; i < ds.N; i++ {
+				for j := i + 1; j < ds.N; j++ {
+					err += math.Abs(d[i][j] - ds.TrueD[i][j])
+				}
+			}
+			if err < bestErr {
+				bestErr = err
+			}
+		}
+	}
+	pairs := float64(ds.N * (ds.N - 1) / 2)
+	if bestErr/pairs > 0.1 {
+		t.Fatalf("best grid inversion error %g per pair", bestErr/pairs)
+	}
+}
+
+func TestDistMatrixSaturationClamped(t *testing.T) {
+	p := [][]float64{{0, 0.99}, {0.99, 0}}
+	d := DistMatrix(p, Params{Ease: 1, InvarFrac: 0.5, CVI: 1}) // frac >= 1
+	if math.IsInf(d[0][1], 0) || math.IsNaN(d[0][1]) {
+		t.Fatal("saturated distance not clamped")
+	}
+}
+
+func TestNeighborJoinRecoversAdditiveTree(t *testing.T) {
+	// NJ is exact on additive matrices: the tree distances must reproduce
+	// the input.
+	ds := GenDataset(5, 8)
+	tree := neighborJoin(ds.TrueD)
+	T := tree.Distances()
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if math.Abs(T[i][j]-ds.TrueD[i][j]) > 1e-6 {
+				t.Fatalf("NJ distance [%d][%d] = %g, want %g", i, j, T[i][j], ds.TrueD[i][j])
+			}
+		}
+	}
+}
+
+func TestBuildTreeScoreNearZeroOnAdditive(t *testing.T) {
+	ds := GenDataset(6, 7)
+	tree := BuildTree(ds.TrueD, 0)
+	if ss := SumOfSquares(ds.TrueD, tree); ss > 1e-6 {
+		t.Fatalf("sum of squares on additive input = %g", ss)
+	}
+}
+
+func TestRefineImprovesFit(t *testing.T) {
+	ds := GenDataset(7, 8)
+	d := DistMatrix(ds.PObs, Params{Ease: 1, InvarFrac: 0.1, CVI: 1})
+	raw := neighborJoin(d)
+	before := SumOfSquares(d, raw)
+	refined := BuildTree(d, 0)
+	after := SumOfSquares(d, refined)
+	if after > before+1e-9 {
+		t.Fatalf("refinement worsened fit: %g -> %g", before, after)
+	}
+}
+
+func TestGoodParamsBeatDefaults(t *testing.T) {
+	// Averaged over datasets, a grid-tuned configuration must beat the
+	// untuned default on the hidden true distances — the core premise of
+	// the Phylip experiment (Fig. 15 shows errors reduced by orders of
+	// magnitude).
+	wins := 0
+	for seed := int64(0); seed < 5; seed++ {
+		ds := GenDataset(seed, 8)
+		defTree, _ := Run(ds, DefaultParams())
+		defQ := Quality(ds, defTree)
+		best := math.Inf(1)
+		for ease := 0.5; ease <= 2.0; ease += 0.25 {
+			for invar := 0.0; invar <= 0.35; invar += 0.07 {
+				tree, _ := Run(ds, Params{Ease: ease, InvarFrac: invar, CVI: 1, Power: 2})
+				if q := Quality(ds, tree); q < best {
+					best = q
+				}
+			}
+		}
+		if best < defQ {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("tuned beat default on only %d/5 datasets", wins)
+	}
+}
+
+func TestNeighborJoinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	neighborJoin([][]float64{{0, 1}, {1, 0}})
+}
+
+func TestGenDatasetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GenDataset(1, 3)
+}
+
+func TestFourPointViolationZeroOnAdditive(t *testing.T) {
+	ds := GenDataset(11, 8)
+	if v := FourPointViolation(ds.TrueD); v > 1e-9 {
+		t.Fatalf("additive matrix violation = %g", v)
+	}
+}
+
+func TestFourPointViolationDetectsDistortion(t *testing.T) {
+	ds := GenDataset(12, 8)
+	clean := FourPointViolation(ds.TrueD)
+	// Square every distance: a monotone nonlinear distortion that destroys
+	// additivity.
+	n := ds.N
+	warped := mat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			warped[i][j] = ds.TrueD[i][j] * ds.TrueD[i][j]
+		}
+	}
+	if FourPointViolation(warped) <= clean {
+		t.Fatal("nonlinear distortion did not raise the violation")
+	}
+}
+
+func TestSaturatedEntries(t *testing.T) {
+	p := [][]float64{{0, 0.99, 0.2}, {0.99, 0, 0.2}, {0.2, 0.2, 0}}
+	d := DistMatrix(p, Params{Ease: 1, InvarFrac: 0.5, CVI: 1})
+	if got := SaturatedEntries(d); got != 1 {
+		t.Fatalf("SaturatedEntries = %d, want 1 (the 0.99 pair)", got)
+	}
+	if got := SaturatedEntries(GenDataset(13, 6).TrueD); got != 0 {
+		t.Fatalf("true distances reported %d saturated entries", got)
+	}
+}
+
+func TestScaleFreeSSInvariantToScale(t *testing.T) {
+	ds := GenDataset(14, 7)
+	tree := BuildTree(ds.TrueD, 0)
+	base := ScaleFreeSS(ds.TrueD, tree)
+	// Scale every branch length by 3: the scale-free score must not move.
+	scaled := tree
+	scaled.Edges = append([]TreeEdge(nil), tree.Edges...)
+	for i := range scaled.Edges {
+		scaled.Edges[i].W *= 3
+	}
+	if diff := math.Abs(ScaleFreeSS(ds.TrueD, scaled) - base); diff > 1e-9 {
+		t.Fatalf("scale changed the scale-free score by %g", diff)
+	}
+}
+
+func TestNormalizedSSScalesOut(t *testing.T) {
+	ds := GenDataset(15, 7)
+	tree := BuildTree(ds.TrueD, 0)
+	a := NormalizedSS(ds.TrueD, tree)
+	// Scaling the reference matrix and the tree together must not change
+	// the normalized score.
+	n := ds.N
+	big := mat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			big[i][j] = ds.TrueD[i][j] * 2
+		}
+	}
+	bigTree := tree
+	bigTree.Edges = append([]TreeEdge(nil), tree.Edges...)
+	for i := range bigTree.Edges {
+		bigTree.Edges[i].W *= 2
+	}
+	b := NormalizedSS(big, bigTree)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("joint scaling changed NormalizedSS: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,189 @@
+// Package points provides the synthetic clustered datasets and cluster
+// quality metrics shared by the K-means and DBScan benchmarks: Gaussian
+// cluster mixtures with known labels (the ground truth used for measuring
+// quality, never for tuning) plus the silhouette coefficient (the internal
+// score tuning optimizes) and the Rand index (the external score the
+// experiment tables report).
+package points
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// Point is a D-dimensional point.
+type Point []float64
+
+// Dataset is a clustered point set with ground-truth labels.
+type Dataset struct {
+	Points []Point
+	Labels []int // ground-truth cluster of each point; -1 marks noise
+	K      int   // true number of clusters
+}
+
+// Gen generates n points from k Gaussian clusters in dim dimensions, plus
+// noiseFrac uniform outliers (labelled -1). Deterministic in seed.
+func Gen(seed int64, n, k, dim int, noiseFrac float64) Dataset {
+	if n <= 0 || k <= 0 || dim <= 0 {
+		panic("points: bad dataset shape")
+	}
+	r := rand.New(rand.NewSource(int64(dist.Mix(uint64(seed), 0xC1)))) // cluster layout
+	centers := make([]Point, k)
+	// Centers are rejection-sampled to at least minSep apart so the true
+	// clustering is unambiguous — the benchmarks measure tuning quality,
+	// not the inherent difficulty of overlapping mixtures.
+	const minSep = 3.0
+	for c := range centers {
+		for attempt := 0; ; attempt++ {
+			cand := make(Point, dim)
+			for d := 0; d < dim; d++ {
+				cand[d] = r.Float64() * 10
+			}
+			ok := true
+			for _, prev := range centers[:c] {
+				if Dist(cand, prev) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok || attempt > 200 {
+				centers[c] = cand
+				break
+			}
+		}
+	}
+	spread := 0.35 + 0.3*r.Float64()
+	ds := Dataset{K: k}
+	nNoise := int(float64(n) * noiseFrac)
+	for i := 0; i < n-nNoise; i++ {
+		c := i % k
+		p := make(Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = centers[c][d] + r.NormFloat64()*spread
+		}
+		ds.Points = append(ds.Points, p)
+		ds.Labels = append(ds.Labels, c)
+	}
+	for i := 0; i < nNoise; i++ {
+		p := make(Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = r.Float64() * 10
+		}
+		ds.Points = append(ds.Points, p)
+		ds.Labels = append(ds.Labels, -1)
+	}
+	return ds
+}
+
+// Dist is the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Silhouette computes the mean silhouette coefficient of a labelling:
+// (b-a)/max(a,b) per point, where a is the mean intra-cluster distance and
+// b the mean distance to the nearest other cluster. Points labelled < 0
+// (noise / unassigned) are skipped. Returns 0 when fewer than 2 clusters
+// have members — a labelling that degenerate carries no structure.
+func Silhouette(pts []Point, labels []int) float64 {
+	clusters := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			clusters[l] = append(clusters[l], i)
+		}
+	}
+	if len(clusters) < 2 {
+		return 0
+	}
+	total, count := 0.0, 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		a := meanDistTo(pts, i, clusters[l])
+		b := math.Inf(1)
+		for other, members := range clusters {
+			if other == l {
+				continue
+			}
+			if d := meanDistTo(pts, i, members); d < b {
+				b = d
+			}
+		}
+		if a == 0 && b == 0 {
+			continue
+		}
+		total += (b - a) / math.Max(a, b)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func meanDistTo(pts []Point, i int, members []int) float64 {
+	s, n := 0.0, 0
+	for _, j := range members {
+		if j == i {
+			continue
+		}
+		s += Dist(pts[i], pts[j])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// RandIndex computes the Rand index between two labellings: the fraction of
+// point pairs on which they agree (same-cluster vs different-cluster).
+// Noise labels (-1) are treated as singleton clusters.
+func RandIndex(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("points: label length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	same := func(l []int, i, j int) bool {
+		if l[i] < 0 || l[j] < 0 {
+			return false
+		}
+		return l[i] == l[j]
+	}
+	agree := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if same(a, i, j) == same(b, i, j) {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs)
+}
+
+// Inertia is the sum of squared distances of points to their assigned
+// center; the classic K-means objective.
+func Inertia(pts []Point, labels []int, centers []Point) float64 {
+	s := 0.0
+	for i, l := range labels {
+		if l < 0 || l >= len(centers) {
+			continue
+		}
+		d := Dist(pts[i], centers[l])
+		s += d * d
+	}
+	return s
+}

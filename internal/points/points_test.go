@@ -1,0 +1,153 @@
+package points
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenShapeAndDeterminism(t *testing.T) {
+	a := Gen(1, 60, 3, 2, 0.1)
+	if len(a.Points) != 60 || len(a.Labels) != 60 || a.K != 3 {
+		t.Fatalf("shape: %d points, %d labels, K=%d", len(a.Points), len(a.Labels), a.K)
+	}
+	noise := 0
+	for _, l := range a.Labels {
+		if l == -1 {
+			noise++
+		}
+	}
+	if noise != 6 {
+		t.Fatalf("noise points = %d, want 6", noise)
+	}
+	b := Gen(1, 60, 3, 2, 0.1)
+	for i := range a.Points {
+		if Dist(a.Points[i], b.Points[i]) != 0 {
+			t.Fatal("Gen not deterministic")
+		}
+	}
+	c := Gen(2, 60, 3, 2, 0.1)
+	if Dist(a.Points[0], c.Points[0]) == 0 {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestGenBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gen(1, 0, 3, 2, 0)
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %g", d)
+	}
+	if d := Dist(Point{1, 1}, Point{1, 1}); d != 0 {
+		t.Fatalf("self distance = %g", d)
+	}
+}
+
+func TestSilhouetteOrdersLabellings(t *testing.T) {
+	ds := Gen(3, 90, 3, 2, 0)
+	good := Silhouette(ds.Points, ds.Labels)
+	// Block labels: same label set, wrong assignment (Gen interleaves the
+	// true clusters by index, so contiguous blocks mix them).
+	bad := make([]int, len(ds.Labels))
+	for i := range bad {
+		bad[i] = (i / 30) % 3
+	}
+	badScore := Silhouette(ds.Points, bad)
+	if !(good > badScore) {
+		t.Fatalf("silhouette ordering violated: truth %g <= scrambled %g", good, badScore)
+	}
+	if good < 0.3 {
+		t.Fatalf("true labelling silhouette %g suspiciously low", good)
+	}
+}
+
+func TestSilhouetteDegenerateCases(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}}
+	if s := Silhouette(pts, []int{0, 0, 0}); s != 0 {
+		t.Fatalf("single cluster silhouette = %g, want 0", s)
+	}
+	if s := Silhouette(pts, []int{-1, -1, -1}); s != 0 {
+		t.Fatalf("all-noise silhouette = %g, want 0", s)
+	}
+}
+
+func TestRandIndexIdentityAndBounds(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2}
+	if ri := RandIndex(labels, labels); ri != 1 {
+		t.Fatalf("RandIndex(x, x) = %g", ri)
+	}
+	// Relabelled clusters (permuted ids) still agree perfectly.
+	perm := []int{2, 2, 0, 0, 1}
+	if ri := RandIndex(labels, perm); ri != 1 {
+		t.Fatalf("RandIndex under relabelling = %g", ri)
+	}
+	opposite := []int{0, 1, 0, 1, 0}
+	if ri := RandIndex(labels, opposite); ri >= 1 {
+		t.Fatalf("disagreeing labellings scored %g", ri)
+	}
+}
+
+func TestRandIndexMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandIndex([]int{1}, []int{1, 2})
+}
+
+func TestInertiaBasic(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}}
+	centers := []Point{{1, 0}}
+	if in := Inertia(pts, []int{0, 0}, centers); in != 2 {
+		t.Fatalf("Inertia = %g, want 2", in)
+	}
+	// Noise labels are skipped.
+	if in := Inertia(pts, []int{-1, 0}, centers); in != 1 {
+		t.Fatalf("Inertia with noise = %g, want 1", in)
+	}
+}
+
+// Property: Rand index is symmetric and within [0, 1].
+func TestPropertyRandIndexSymmetric(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		n := len(aRaw)
+		if len(bRaw) < n {
+			n = len(bRaw)
+		}
+		if n < 2 {
+			return true
+		}
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(aRaw[i] % 4)
+			b[i] = int(bRaw[i] % 4)
+		}
+		x := RandIndex(a, b)
+		y := RandIndex(b, a)
+		return x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: silhouette is always within [-1, 1].
+func TestPropertySilhouetteBounded(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		ds := Gen(seed, 40, k, 2, 0.1)
+		s := Silhouette(ds.Points, ds.Labels)
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

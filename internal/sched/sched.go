@@ -1,0 +1,210 @@
+// Package sched implements the WBTuner process scheduler (Algorithm 1 in the
+// paper). The scheduler throttles process creation so that a tuning run does
+// not exhaust memory: sampling processes are prioritized over tuning
+// processes because they conduct the real computation, and a tuning process
+// may only be admitted while less than 75% of the pool is occupied, so that
+// a burst of @split calls cannot starve the sampling workers.
+//
+// Waiting spawn requests sit in a priority queue ordered first by kind
+// (sampling before tuning) and then by the todo value of the requesting
+// tuning process — processes with fewer remaining samples are finished
+// first so they can release their resources sooner.
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Event classifies a scheduling request, mirroring Algorithm 1's SPAWN_S,
+// SPAWN_T and EXIT events (EXIT is expressed as Release here).
+type Event int
+
+const (
+	// SpawnS requests admission of a sampling process.
+	SpawnS Event = iota
+	// SpawnT requests admission of a tuning process.
+	SpawnT
+)
+
+// tpFraction is the fraction of the pool a tuning process may not push
+// occupancy beyond (Algorithm 1 sets the tuning-process threshold to
+// MAX_POOL_SIZE * 0.75, i.e. it must wait if 25% of slots would remain).
+const tpFraction = 0.75
+
+// Stats reports scheduler behaviour for the optimization-effect experiment
+// (Fig. 10): how many admissions happened, how often requests had to wait,
+// and the peak number of simultaneously admitted processes.
+type Stats struct {
+	Admitted  int64
+	Waited    int64
+	PeakInUse int
+}
+
+type waiter struct {
+	event Event
+	todo  int
+	seq   int64
+	ready chan struct{}
+}
+
+type waitQueue []*waiter
+
+func (q waitQueue) Len() int { return len(q) }
+func (q waitQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.event != b.event {
+		return a.event == SpawnS // sampling processes first
+	}
+	if a.todo != b.todo {
+		return a.todo < b.todo // fewer remaining samples first
+	}
+	return a.seq < b.seq // FIFO among equals
+}
+func (q waitQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *waitQueue) Push(x any)   { *q = append(*q, x.(*waiter)) }
+func (q *waitQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}
+
+// Scheduler admits processes into a bounded pool. The zero value is not
+// usable; construct with New.
+type Scheduler struct {
+	mu       sync.Mutex
+	max      int
+	inUse    int
+	seq      int64
+	queue    waitQueue
+	stats    Stats
+	disabled bool
+}
+
+// New returns a scheduler with the given pool size. max must be positive.
+// If disabled is true the scheduler admits everything immediately (used by
+// the Fig. 10 ablation); it still records statistics.
+func New(max int, disabled bool) *Scheduler {
+	if max <= 0 {
+		panic("sched: pool size must be positive")
+	}
+	return &Scheduler{max: max, disabled: disabled}
+}
+
+// tpLimit is the occupancy a tuning process may not reach.
+func (s *Scheduler) tpLimit() int {
+	lim := int(float64(s.max) * tpFraction)
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
+
+// admissible reports whether a request of the given kind fits right now.
+// Callers must hold s.mu.
+func (s *Scheduler) admissible(event Event) bool {
+	if s.disabled {
+		return true
+	}
+	if event == SpawnS {
+		return s.inUse < s.max
+	}
+	return s.inUse < s.tpLimit()
+}
+
+// Acquire blocks until the scheduler admits a process of the given kind.
+// todo is the number of samples remaining for the requesting tuning process
+// and orders waiting requests (Algorithm 1). Every successful Acquire must
+// be paired with exactly one Release.
+func (s *Scheduler) Acquire(event Event, todo int) {
+	s.mu.Lock()
+	if s.admissible(event) {
+		s.admit()
+		s.mu.Unlock()
+		return
+	}
+	s.stats.Waited++
+	w := &waiter{event: event, todo: todo, seq: s.seq, ready: make(chan struct{})}
+	s.seq++
+	heap.Push(&s.queue, w)
+	s.mu.Unlock()
+	<-w.ready // admit() was performed by the releasing goroutine
+}
+
+// admit marks one slot used. Callers must hold s.mu.
+func (s *Scheduler) admit() {
+	s.inUse++
+	s.stats.Admitted++
+	if s.inUse > s.stats.PeakInUse {
+		s.stats.PeakInUse = s.inUse
+	}
+}
+
+// Release returns a slot to the pool (Algorithm 1's EXIT event) and wakes
+// the highest-priority waiting request that now fits.
+func (s *Scheduler) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse <= 0 {
+		panic("sched: Release without matching Acquire")
+	}
+	s.inUse--
+	s.wake()
+}
+
+// wake admits as many queued waiters as now fit, in priority order.
+// Callers must hold s.mu.
+func (s *Scheduler) wake() {
+	for s.queue.Len() > 0 {
+		w := s.queue[0]
+		if !s.admissible(w.event) {
+			// The head is a tuning process blocked on the 75% limit; a
+			// sampling process deeper in the queue may still fit.
+			if w.event == SpawnT && s.inUse < s.max {
+				if i := s.firstSampling(); i >= 0 {
+					ws := s.queue[i]
+					heap.Remove(&s.queue, i)
+					s.admit()
+					close(ws.ready)
+					continue
+				}
+			}
+			return
+		}
+		heap.Pop(&s.queue)
+		s.admit()
+		close(w.ready)
+	}
+}
+
+// firstSampling returns the queue position of the best waiting sampling
+// request, or -1. Callers must hold s.mu.
+func (s *Scheduler) firstSampling() int {
+	best := -1
+	for i, w := range s.queue {
+		if w.event != SpawnS {
+			continue
+		}
+		if best == -1 || waitQueue(s.queue).Less(i, best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// InUse reports the number of currently admitted processes.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// Stats returns a copy of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,565 @@
+// Package semantics is an executable version of the operational semantics of
+// WBTuner (Fig. 8 of the paper). It defines the statement language, the two
+// stores (the regular store σ and the sample store δ, split into exposed and
+// aggregation parts), the two execution modes T⟨pid⟩ and S⟨pid⟩, and a
+// small-step machine implementing the twelve statement rules plus the
+// spawn / notify / wait / invoke extensions.
+//
+// The interpreter exists to validate the model: the property tests in this
+// package check invariants such as "after a sampling region, the parent's
+// aggregation store holds exactly one entry per surviving child" directly
+// against the rules, independent of the production runtime in
+// internal/core. It is deliberately sequential (one machine steps all
+// processes) so executions are deterministic and assertable.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a runtime value of the modelled language.
+type Value any
+
+// Store is the regular program store σ: variable → value.
+type Store map[string]Value
+
+// Copy returns a shallow copy of the store — exactly what fork gives the
+// child process in the paper's runtime (copy-on-write of σ).
+func (s Store) Copy() Store {
+	out := make(Store, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// SampleStore is δ: the exposed store plus the aggregation store. It is
+// shared between a tuning process and its sampling children (the semantics
+// threads one δ through the rules).
+type SampleStore struct {
+	Exposed map[string]Value         // Var → Value
+	Agg     map[string]map[int]Value // Var → (Index → Value)
+}
+
+// NewSampleStore returns an empty δ.
+func NewSampleStore() *SampleStore {
+	return &SampleStore{
+		Exposed: make(map[string]Value),
+		Agg:     make(map[string]map[int]Value),
+	}
+}
+
+func (d *SampleStore) put(x string, pid int, v Value) {
+	vec, ok := d.Agg[x]
+	if !ok {
+		vec = make(map[int]Value)
+		d.Agg[x] = vec
+	}
+	vec[pid] = v
+}
+
+// AggVec returns δ(x) as a pid-sorted slice of values.
+func (d *SampleStore) AggVec(x string) []Value {
+	vec := d.Agg[x]
+	pids := make([]int, 0, len(vec))
+	for pid := range vec {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	out := make([]Value, 0, len(pids))
+	for _, pid := range pids {
+		out = append(out, vec[pid])
+	}
+	return out
+}
+
+// Mode is the execution mode ω.
+type Mode int
+
+// The two modes of the semantics.
+const (
+	// ModeT is a tuning process T⟨pid⟩.
+	ModeT Mode = iota
+	// ModeS is a sampling process S⟨pid⟩.
+	ModeS
+)
+
+func (m Mode) String() string {
+	if m == ModeT {
+		return "T"
+	}
+	return "S"
+}
+
+// Callback is a user callback (cbStrgy, cbAggr, cbDist, cbChk, cbBarrier).
+// It runs with access to the invoking process and may return a value (used
+// by @sample's cbDist and @check's cbChk).
+type Callback func(m *Machine, p *Proc) Value
+
+// Stmt is a statement of the modelled language.
+type Stmt interface{ isStmt() }
+
+// Assign is x := v for a literal or x := e for an evaluated expression.
+type Assign struct {
+	X string
+	E Expr
+}
+
+// Sampling is @sampling(n, cbStrgy): fork n sampling children running the
+// continuation, then continue as the tuning process (rule [SAMPLING]).
+type Sampling struct {
+	N     int
+	Strgy Callback
+}
+
+// Aggregate is @aggregate(x, cbAggr): rule [AGGR-T] in a tuning process
+// (invoke the aggregation callback) and rule [AGGR-S] in a sampling process
+// (commit σ(x) to δ and terminate).
+type Aggregate struct {
+	X    string
+	Aggr Callback
+}
+
+// Sample is @sample(x, cbDist): in a sampling process, x := invoke(cbDist)
+// (rule [SAMPLE]); a NOP in a tuning process.
+type Sample struct {
+	X    string
+	Dist Callback
+}
+
+// Split is @split(): a tuning process forks a child tuning process that
+// runs the continuation with a copy of σ and an empty δ (rule [SPLIT]).
+type Split struct{}
+
+// Sync is @sync(cbBarrier): rules [SYNC-T] and [SYNC-S].
+type Sync struct {
+	Barrier Callback
+}
+
+// Check is @check(cbChk): in a sampling process, continue only if the
+// callback returns true, otherwise terminate (rule [CHECK]).
+type Check struct {
+	Chk Callback
+}
+
+// Expose is @expose(x): copy σ(x) into the exposed store (rule [EXPOSE]).
+type Expose struct{ X string }
+
+// Load is y = @load(x): read the exposed store (rule [LOAD]).
+type Load struct{ Y, X string }
+
+// LoadS is y = @loadS(x, i): read the i-th aggregation-store entry of x
+// (rule [LOADSAMPLE]). I is evaluated against σ.
+type LoadS struct {
+	Y, X string
+	I    Expr
+}
+
+// Skip is the empty statement.
+type Skip struct{}
+
+// If runs Then or Else depending on Cond evaluated against σ; a nil branch
+// is skip. Conditionals let test programs express input-dependent tuning
+// structure (e.g. split only when a check passes).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Invoke calls a callback for its side effects — the extended invoke(cb)
+// statement of the semantics definitions.
+type Invoke struct {
+	CB Callback
+}
+
+func (Assign) isStmt()    {}
+func (If) isStmt()        {}
+func (Invoke) isStmt()    {}
+func (Sampling) isStmt()  {}
+func (Aggregate) isStmt() {}
+func (Sample) isStmt()    {}
+func (Split) isStmt()     {}
+func (Sync) isStmt()      {}
+func (Check) isStmt()     {}
+func (Expose) isStmt()    {}
+func (Load) isStmt()      {}
+func (LoadS) isStmt()     {}
+func (Skip) isStmt()      {}
+
+// Expr is an expression evaluated against a process's σ.
+type Expr func(s Store) Value
+
+// Lit returns a literal expression.
+func Lit(v Value) Expr { return func(Store) Value { return v } }
+
+// Var reads a variable from σ.
+func Var(x string) Expr {
+	return func(s Store) Value {
+		v, ok := s[x]
+		if !ok {
+			panic(fmt.Sprintf("semantics: read of unbound variable %q", x))
+		}
+		return v
+	}
+}
+
+// Proc is one process configuration ⟨σ, δ, ω, s⟩ plus the bookkeeping the
+// extended statements (notify/wait) need.
+type Proc struct {
+	PID    int
+	Mode   Mode
+	Sigma  Store
+	Delta  *SampleStore
+	body   []Stmt // remaining statements, body[0] is next
+	parent int    // pid of the parent tuning process (-1 for the root)
+
+	// notifications implements the queued notify/wait pair; notifications
+	// from child processes are queued so none are lost (the paper notes
+	// lost messages would deadlock).
+	notifications map[int]int // sender pid -> queued count
+	waitingFor    int         // pid this process is blocked on, or -1
+	terminated    bool
+}
+
+// Terminated reports whether the process has finished its body.
+func (p *Proc) Terminated() bool { return p.terminated }
+
+// Machine is the global configuration: the set of processes plus a
+// deterministic round-robin scheduler.
+type Machine struct {
+	procs   []*Proc
+	nextPID int
+	// Trace records one line per applied rule when Tracing is enabled;
+	// tests assert on it.
+	Tracing bool
+	Trace   []string
+}
+
+// NewMachine creates a machine whose root tuning process runs body with an
+// empty σ and a fresh δ.
+func NewMachine(body ...Stmt) *Machine {
+	m := &Machine{}
+	root := &Proc{
+		PID:           0,
+		Mode:          ModeT,
+		Sigma:         make(Store),
+		Delta:         NewSampleStore(),
+		body:          body,
+		parent:        -1,
+		notifications: make(map[int]int),
+		waitingFor:    -1,
+	}
+	m.procs = []*Proc{root}
+	m.nextPID = 1
+	return m
+}
+
+// Root returns the root tuning process.
+func (m *Machine) Root() *Proc { return m.procs[0] }
+
+// Procs returns all processes ever created, in pid order.
+func (m *Machine) Procs() []*Proc { return m.procs }
+
+// Proc returns the process with the given pid.
+func (m *Machine) Proc(pid int) *Proc { return m.procs[pid] }
+
+// spawn creates a process (the extended spawn(σ, δ, ω, s) statement).
+func (m *Machine) spawn(sigma Store, delta *SampleStore, mode Mode, parent int, body []Stmt) *Proc {
+	p := &Proc{
+		PID:           m.nextPID,
+		Mode:          mode,
+		Sigma:         sigma,
+		Delta:         delta,
+		body:          body,
+		parent:        parent,
+		notifications: make(map[int]int),
+		waitingFor:    -1,
+	}
+	m.nextPID++
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// children returns the pids of live sampling children of a tuning process.
+func (m *Machine) children(pid int) []int {
+	var out []int
+	for _, p := range m.procs {
+		if p.parent == pid && p.Mode == ModeS && !p.terminated {
+			out = append(out, p.PID)
+		}
+	}
+	return out
+}
+
+// notify delivers a notification from sender to the target's queue.
+func (m *Machine) notify(target, sender int) {
+	m.procs[target].notifications[sender]++
+}
+
+// canStep reports whether p can take a step right now.
+func (m *Machine) canStep(p *Proc) bool {
+	if p.terminated || len(p.body) == 0 {
+		return false
+	}
+	if p.waitingFor >= 0 {
+		return p.notifications[p.waitingFor] > 0
+	}
+	// A tuning process at @sync waits for all children to arrive; modelled
+	// in step, which re-checks. A tuning process at @aggregate must wait
+	// until all sampling children have terminated (the execution model:
+	// "After all sampling processes commit, the tuning process resumes").
+	if p.Mode == ModeT {
+		switch p.body[0].(type) {
+		case Aggregate:
+			return len(m.children(p.PID)) == 0
+		case Sync:
+			return m.allChildrenArrived(p)
+		}
+	}
+	return true
+}
+
+// allChildrenArrived reports whether every live sampling child of p has
+// notified p (i.e. reached the barrier).
+func (m *Machine) allChildrenArrived(p *Proc) bool {
+	kids := m.children(p.PID)
+	if len(kids) == 0 {
+		return true
+	}
+	for _, kid := range kids {
+		if p.notifications[kid] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps the machine round-robin until no process can step. It returns
+// the number of steps taken and panics after maxSteps to catch divergence
+// in tests.
+func (m *Machine) Run(maxSteps int) int {
+	steps := 0
+	for {
+		progressed := false
+		for i := 0; i < len(m.procs); i++ {
+			p := m.procs[i]
+			if m.canStep(p) {
+				m.step(p)
+				steps++
+				progressed = true
+				if steps > maxSteps {
+					panic("semantics: step budget exhausted (divergence or deadlock-livelock)")
+				}
+			}
+		}
+		if !progressed {
+			return steps
+		}
+	}
+}
+
+// Stuck reports whether any process still has statements to run but the
+// machine cannot progress — a deadlock.
+func (m *Machine) Stuck() bool {
+	for _, p := range m.procs {
+		if !p.terminated && len(p.body) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StuckProcesses returns the pids of processes blocked at Run's fixpoint,
+// with a short reason each — the deadlock diagnostic tests assert on.
+func (m *Machine) StuckProcesses() map[int]string {
+	out := map[int]string{}
+	for _, p := range m.procs {
+		if p.terminated || len(p.body) == 0 {
+			continue
+		}
+		switch {
+		case p.waitingFor >= 0:
+			out[p.PID] = fmt.Sprintf("waiting for notification from pid %d", p.waitingFor)
+		default:
+			out[p.PID] = fmt.Sprintf("blocked at %T", p.body[0])
+		}
+	}
+	return out
+}
+
+func (m *Machine) trace(format string, args ...any) {
+	if m.Tracing {
+		m.Trace = append(m.Trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// step applies exactly one statement rule to p. Callers ensure canStep(p).
+func (m *Machine) step(p *Proc) {
+	s := p.body[0]
+	rest := p.body[1:]
+
+	// A process blocked in wait consumes its queued notification first.
+	if p.waitingFor >= 0 {
+		p.notifications[p.waitingFor]--
+		p.waitingFor = -1
+		p.body = rest
+		m.trace("%s<%d> wait satisfied", p.Mode, p.PID)
+		return
+	}
+
+	switch st := s.(type) {
+	case Skip:
+		p.body = rest
+
+	case If:
+		branch := st.Else
+		if cond, _ := st.Cond(p.Sigma).(bool); cond {
+			branch = st.Then
+		}
+		// Prepend the chosen branch to the continuation.
+		p.body = append(append([]Stmt(nil), branch...), rest...)
+		m.trace("%s<%d> [IF] took branch of %d stmts", p.Mode, p.PID, len(branch))
+
+	case Invoke:
+		if st.CB != nil {
+			st.CB(m, p)
+		}
+		p.body = rest
+		m.trace("%s<%d> [INVOKE]", p.Mode, p.PID)
+
+	case Assign:
+		p.Sigma[st.X] = st.E(p.Sigma)
+		p.body = rest
+		m.trace("%s<%d> [ASSIGN] %s", p.Mode, p.PID, st.X)
+
+	case Sampling:
+		if p.Mode == ModeT {
+			// Rule [SAMPLING]: fork n children in mode S⟨i⟩, each running
+			// invoke(cbStrgy); s — i.e. the same continuation as the parent.
+			for i := 0; i < st.N; i++ {
+				child := m.spawn(p.Sigma.Copy(), p.Delta, ModeS, p.PID, append([]Stmt(nil), rest...))
+				if st.Strgy != nil {
+					st.Strgy(m, child)
+				}
+			}
+			m.trace("T<%d> [SAMPLING] forked %d children", p.PID, st.N)
+		}
+		// In a sampling process @sampling is a NOP.
+		p.body = rest
+
+	case Aggregate:
+		if p.Mode == ModeT {
+			// Rule [AGGR-T]: invoke the aggregation callback.
+			if st.Aggr != nil {
+				st.Aggr(m, p)
+			}
+			p.body = rest
+			m.trace("T<%d> [AGGR-T] %s", p.PID, st.X)
+		} else {
+			// Rule [AGGR-S]: commit σ(x) into δ at this pid, terminate.
+			p.Delta.put(st.X, p.PID, p.Sigma[st.X])
+			p.body = nil
+			p.terminated = true
+			m.trace("S<%d> [AGGR-S] committed %s", p.PID, st.X)
+		}
+
+	case Sample:
+		if p.Mode == ModeS {
+			// Rule [SAMPLE]: x := invoke(cbDist).
+			p.Sigma[st.X] = st.Dist(m, p)
+			m.trace("S<%d> [SAMPLE] %s = %v", p.PID, st.X, p.Sigma[st.X])
+		}
+		// [SAMPLE] only applies to sampling processes; NOP otherwise.
+		p.body = rest
+
+	case Split:
+		if p.Mode == ModeT {
+			// Rule [SPLIT]: fork a child tuning process with a copy of σ
+			// and an empty sample store, running the continuation.
+			child := m.spawn(p.Sigma.Copy(), NewSampleStore(), ModeT, p.PID, append([]Stmt(nil), rest...))
+			m.trace("T<%d> [SPLIT] -> T<%d>", p.PID, child.PID)
+		}
+		p.body = rest
+
+	case Sync:
+		if p.Mode == ModeT {
+			// Rule [SYNC-T]: all children have arrived (canStep checked);
+			// consume their notifications, run the barrier callback, then
+			// notify every child to proceed.
+			kids := m.children(p.PID)
+			for _, kid := range kids {
+				p.notifications[kid]--
+			}
+			if st.Barrier != nil {
+				st.Barrier(m, p)
+			}
+			for _, kid := range kids {
+				m.notify(kid, p.PID)
+			}
+			p.body = rest
+			m.trace("T<%d> [SYNC-T] released %d children", p.PID, len(kids))
+		} else {
+			// Rule [SYNC-S]: notify the parent, then wait for it.
+			m.notify(p.parent, p.PID)
+			p.waitingFor = p.parent
+			// Keep the current statement as the wait placeholder: the next
+			// step (once notified) consumes it via the waitingFor branch.
+			m.trace("S<%d> [SYNC-S] arrived at barrier", p.PID)
+		}
+
+	case Check:
+		if p.Mode == ModeS {
+			// Rule [CHECK]: continue iff the callback returns true.
+			if ok, _ := st.Chk(m, p).(bool); !ok {
+				p.body = nil
+				p.terminated = true
+				m.trace("S<%d> [CHECK] pruned", p.PID)
+				return
+			}
+			m.trace("S<%d> [CHECK] passed", p.PID)
+		}
+		p.body = rest
+
+	case Expose:
+		if p.Mode == ModeT {
+			// Rule [EXPOSE]: δ[x ↦ σ(x)].
+			p.Delta.Exposed[st.X] = p.Sigma[st.X]
+			m.trace("T<%d> [EXPOSE] %s", p.PID, st.X)
+		}
+		p.body = rest
+
+	case Load:
+		// Rule [LOAD]: σ[y ↦ δ(x)].
+		v, ok := p.Delta.Exposed[st.X]
+		if !ok {
+			panic(fmt.Sprintf("semantics: @load of unexposed variable %q", st.X))
+		}
+		p.Sigma[st.Y] = v
+		p.body = rest
+		m.trace("%s<%d> [LOAD] %s", p.Mode, p.PID, st.Y)
+
+	case LoadS:
+		// Rule [LOADSAMPLE]: σ[y ↦ δ(x)[i]].
+		i, ok := st.I(p.Sigma).(int)
+		if !ok {
+			panic("semantics: @loadS index is not an int")
+		}
+		vec := p.Delta.AggVec(st.X)
+		if i < 0 || i >= len(vec) {
+			panic(fmt.Sprintf("semantics: @loadS(%s, %d) out of range (%d entries)", st.X, i, len(vec)))
+		}
+		p.Sigma[st.Y] = vec[i]
+		p.body = rest
+		m.trace("%s<%d> [LOADSAMPLE] %s[%d]", p.Mode, p.PID, st.X, i)
+
+	default:
+		panic(fmt.Sprintf("semantics: unknown statement %T", s))
+	}
+
+	if len(p.body) == 0 && !p.terminated {
+		p.terminated = true
+		m.trace("%s<%d> terminated", p.Mode, p.PID)
+	}
+}

@@ -1,0 +1,525 @@
+package semantics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// samplingProgram builds the canonical region:
+//
+//	@sampling(n, strgy); @sample(x, dist); y := f(x); @aggregate(y, aggr)
+//
+// dist returns pid (so each child commits a distinguishable value).
+//
+// x is initialized before the region because the tuning process executes
+// the region body too (rule [SAMPLING] continues the parent with the same
+// s); with @sample a NOP in mode T, the parent reads x's initial value.
+func samplingProgram(n int, aggr Callback) []Stmt {
+	return []Stmt{
+		Assign{X: "x", E: Lit(-1)},
+		Sampling{N: n, Strgy: nil},
+		Sample{X: "x", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+		Assign{X: "y", E: Var("x")},
+		Aggregate{X: "y", Aggr: aggr},
+	}
+}
+
+func TestSamplingForksNChildren(t *testing.T) {
+	m := NewMachine(samplingProgram(5, nil)...)
+	m.Run(10000)
+	var sCount int
+	for _, p := range m.Procs() {
+		if p.Mode == ModeS {
+			sCount++
+		}
+	}
+	if sCount != 5 {
+		t.Fatalf("forked %d sampling processes, want 5", sCount)
+	}
+}
+
+func TestAggregationStoreHasOneEntryPerChild(t *testing.T) {
+	m := NewMachine(samplingProgram(7, nil)...)
+	m.Run(10000)
+	vec := m.Root().Delta.AggVec("y")
+	if len(vec) != 7 {
+		t.Fatalf("δ(y) has %d entries, want 7", len(vec))
+	}
+	// Each child committed its own pid.
+	seen := map[Value]bool{}
+	for _, v := range vec {
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("entries not distinct: %v", vec)
+	}
+}
+
+func TestAggrTCallbackRunsAfterAllCommits(t *testing.T) {
+	var committed int
+	m := NewMachine(samplingProgram(4, func(m *Machine, p *Proc) Value {
+		committed = len(m.Root().Delta.AggVec("y"))
+		return nil
+	})...)
+	m.Run(10000)
+	if committed != 4 {
+		t.Fatalf("[AGGR-T] ran with %d commits visible, want 4", committed)
+	}
+}
+
+func TestSamplingIsNopInSamplingProcess(t *testing.T) {
+	// A nested @sampling inside the region body must not fork grandchildren
+	// from sampling processes (rule [SAMPLING] only applies in mode T).
+	prog := []Stmt{
+		Sampling{N: 3},
+		Sampling{N: 10}, // children reach this in mode S: must be a NOP
+		Assign{X: "y", E: Lit(1)},
+		Aggregate{X: "y"},
+	}
+	m := NewMachine(prog...)
+	m.Run(10000)
+	var sCount int
+	for _, p := range m.Procs() {
+		if p.Mode == ModeS {
+			sCount++
+		}
+	}
+	// Root forks 3; root reaches the second @sampling in mode T, forking 10
+	// more; the original 3 children fork nothing.
+	if sCount != 13 {
+		t.Fatalf("%d sampling processes, want 13 (3 + 10, none from S-mode)", sCount)
+	}
+}
+
+func TestSampleIsNopInTuningProcess(t *testing.T) {
+	m := NewMachine(
+		Sample{X: "x", Dist: func(*Machine, *Proc) Value { return 42 }},
+	)
+	m.Run(100)
+	if _, ok := m.Root().Sigma["x"]; ok {
+		t.Fatal("[SAMPLE] must be a NOP in a tuning process")
+	}
+}
+
+func TestCheckPrunesSamplingProcess(t *testing.T) {
+	prog := []Stmt{
+		Sampling{N: 6},
+		Sample{X: "x", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+		Check{Chk: func(_ *Machine, p *Proc) Value { return p.Sigma["x"].(int)%2 == 0 }},
+		Aggregate{X: "x"},
+	}
+	m := NewMachine(prog...)
+	m.Run(10000)
+	vec := m.Root().Delta.AggVec("x")
+	// pids 1..6; even pids pass: 2, 4, 6.
+	if len(vec) != 3 {
+		t.Fatalf("δ(x) has %d entries after pruning, want 3", len(vec))
+	}
+	for _, v := range vec {
+		if v.(int)%2 != 0 {
+			t.Fatalf("pruned value leaked: %v", vec)
+		}
+	}
+}
+
+func TestCheckIsNopInTuningProcess(t *testing.T) {
+	ran := false
+	m := NewMachine(
+		Check{Chk: func(*Machine, *Proc) Value { ran = true; return false }},
+		Assign{X: "after", E: Lit(1)},
+	)
+	m.Run(100)
+	if ran {
+		t.Fatal("cbChk must not run in a tuning process")
+	}
+	if m.Root().Sigma["after"] != 1 {
+		t.Fatal("tuning process should continue past @check")
+	}
+}
+
+func TestExposeLoadAcrossScopes(t *testing.T) {
+	m := NewMachine(
+		Assign{X: "imgSize", E: Lit(640)},
+		Expose{X: "imgSize"},
+		Assign{X: "imgSize", E: Lit(0)}, // clobber the local
+		Load{Y: "restored", X: "imgSize"},
+	)
+	m.Run(100)
+	if m.Root().Sigma["restored"] != 640 {
+		t.Fatalf("restored = %v", m.Root().Sigma["restored"])
+	}
+}
+
+func TestLoadSReadsIthOutcome(t *testing.T) {
+	prog := append(samplingProgram(3, nil),
+		Assign{X: "i", E: Lit(1)},
+		LoadS{Y: "second", X: "y", I: Var("i")},
+	)
+	m := NewMachine(prog...)
+	m.Run(10000)
+	vec := m.Root().Delta.AggVec("y")
+	if m.Root().Sigma["second"] != vec[1] {
+		t.Fatalf("loadS(y, 1) = %v, want %v", m.Root().Sigma["second"], vec[1])
+	}
+}
+
+func TestSplitChildGetsCopiedSigmaEmptyDelta(t *testing.T) {
+	m := NewMachine(
+		Assign{X: "a", E: Lit(10)},
+		Expose{X: "a"},
+		Split{},
+		Assign{X: "a", E: Lit(99)}, // both parent and child run this
+	)
+	m.Run(1000)
+	procs := m.Procs()
+	if len(procs) != 2 {
+		t.Fatalf("%d processes, want 2", len(procs))
+	}
+	child := procs[1]
+	if child.Mode != ModeT {
+		t.Fatal("[SPLIT] must fork a tuning process")
+	}
+	if child.Sigma["a"] != 99 {
+		t.Fatalf("child σ(a) = %v", child.Sigma["a"])
+	}
+	if len(child.Delta.Exposed) != 0 || len(child.Delta.Agg) != 0 {
+		t.Fatal("[SPLIT] child must get an empty sample store")
+	}
+	// Parent's δ is untouched.
+	if m.Root().Delta.Exposed["a"] != 10 {
+		t.Fatal("parent exposed store corrupted")
+	}
+}
+
+func TestSplitSigmaIsCopyNotAlias(t *testing.T) {
+	m := NewMachine(
+		Assign{X: "a", E: Lit(1)},
+		Split{},
+		// Continuation: child and parent both increment-ish by reassigning
+		// from their own σ; if σ were shared the final values would differ
+		// from the isolated expectation. Use pid-distinguishing callback.
+		Assign{X: "a", E: Lit(2)},
+	)
+	m.Run(1000)
+	// Mutate parent after the run; child must be unaffected.
+	m.Root().Sigma["a"] = 777
+	if m.Procs()[1].Sigma["a"] == 777 {
+		t.Fatal("child σ aliases parent σ")
+	}
+}
+
+func TestSyncBarrierProtocol(t *testing.T) {
+	barrierRan := 0
+	childrenAtBarrier := 0
+	prog := []Stmt{
+		Sampling{N: 4},
+		Sample{X: "x", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+		Sync{Barrier: func(m *Machine, p *Proc) Value {
+			barrierRan++
+			childrenAtBarrier = len(m.children(p.PID))
+			return nil
+		}},
+		Aggregate{X: "x"},
+	}
+	m := NewMachine(prog...)
+	m.Run(10000)
+	if m.Stuck() {
+		t.Fatal("machine deadlocked at the barrier")
+	}
+	if barrierRan != 1 {
+		t.Fatalf("cbBarrier ran %d times, want 1", barrierRan)
+	}
+	if childrenAtBarrier != 4 {
+		t.Fatalf("barrier saw %d children", childrenAtBarrier)
+	}
+	if got := len(m.Root().Delta.AggVec("x")); got != 4 {
+		t.Fatalf("δ(x) = %d entries after barrier + aggregate", got)
+	}
+}
+
+func TestSyncWithPrunedChildren(t *testing.T) {
+	// Children pruned before the barrier must not block [SYNC-T].
+	prog := []Stmt{
+		Sampling{N: 4},
+		Sample{X: "x", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+		Check{Chk: func(_ *Machine, p *Proc) Value { return p.Sigma["x"].(int) <= 2 }},
+		Sync{},
+		Aggregate{X: "x"},
+	}
+	m := NewMachine(prog...)
+	m.Run(10000)
+	if m.Stuck() {
+		t.Fatal("machine deadlocked: pruned children blocked the barrier")
+	}
+	if got := len(m.Root().Delta.AggVec("x")); got != 2 {
+		t.Fatalf("δ(x) = %d entries, want 2 survivors", got)
+	}
+}
+
+func TestNotificationsAreQueued(t *testing.T) {
+	// Two consecutive barriers: notifications from the first must not leak
+	// into the second (queued counters, not a flag).
+	ran := 0
+	prog := []Stmt{
+		Sampling{N: 3},
+		Sync{Barrier: func(*Machine, *Proc) Value { ran++; return nil }},
+		Sync{Barrier: func(*Machine, *Proc) Value { ran++; return nil }},
+		Assign{X: "y", E: Lit(1)},
+		Aggregate{X: "y"},
+	}
+	m := NewMachine(prog...)
+	m.Run(10000)
+	if m.Stuck() {
+		t.Fatal("deadlocked on double barrier")
+	}
+	if ran != 2 {
+		t.Fatalf("barrier callbacks ran %d times, want 2", ran)
+	}
+}
+
+func TestAssignEvaluatesAgainstSigma(t *testing.T) {
+	m := NewMachine(
+		Assign{X: "a", E: Lit(3)},
+		Assign{X: "b", E: func(s Store) Value { return s["a"].(int) * 2 }},
+	)
+	m.Run(100)
+	if m.Root().Sigma["b"] != 6 {
+		t.Fatalf("b = %v", m.Root().Sigma["b"])
+	}
+}
+
+func TestVarOfUnboundPanics(t *testing.T) {
+	m := NewMachine(Assign{X: "y", E: Var("missing")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(100)
+}
+
+func TestLoadUnexposedPanics(t *testing.T) {
+	m := NewMachine(Load{Y: "y", X: "never"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(100)
+}
+
+func TestLoadSOutOfRangePanics(t *testing.T) {
+	m := NewMachine(append(samplingProgram(2, nil),
+		Assign{X: "i", E: Lit(5)},
+		LoadS{Y: "y2", X: "y", I: Var("i")},
+	)...)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(10000)
+}
+
+func TestTraceRecordsRules(t *testing.T) {
+	m := NewMachine(samplingProgram(2, nil)...)
+	m.Tracing = true
+	m.Run(10000)
+	var sawSampling, sawAggrS, sawAggrT bool
+	for _, line := range m.Trace {
+		switch {
+		case contains(line, "[SAMPLING]"):
+			sawSampling = true
+		case contains(line, "[AGGR-S]"):
+			sawAggrS = true
+		case contains(line, "[AGGR-T]"):
+			sawAggrT = true
+		}
+	}
+	if !sawSampling || !sawAggrS || !sawAggrT {
+		t.Fatalf("trace missing rules: %v", m.Trace)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: for any n and any pruning predicate, the aggregation store ends
+// with exactly the number of unpruned children, and the machine never
+// deadlocks.
+func TestPropertyRegionCommitsMatchSurvivors(t *testing.T) {
+	f := func(nRaw uint8, keepMask uint16) bool {
+		n := int(nRaw%8) + 1
+		prog := []Stmt{
+			Sampling{N: n},
+			Sample{X: "x", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+			Check{Chk: func(_ *Machine, p *Proc) Value {
+				return keepMask>>(p.Sigma["x"].(int)%16)&1 == 1
+			}},
+			Sync{},
+			Aggregate{X: "x"},
+		}
+		m := NewMachine(prog...)
+		m.Run(100000)
+		if m.Stuck() {
+			return false
+		}
+		want := 0
+		for pid := 1; pid <= n; pid++ {
+			if keepMask>>(pid%16)&1 == 1 {
+				want++
+			}
+		}
+		return len(m.Root().Delta.AggVec("x")) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the m*n vs m^n configuration count (Fig. 2): a two-stage
+// white-box program with m samples per stage explores 2m configurations
+// with m live sampling processes per stage, never m².
+func TestPropertyStagedSamplingProcessCount(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		mSamples := int(mRaw%6) + 1
+		// Stage 1 region; aggregation picks one result; then a split-off
+		// tuning process runs stage 2's region.
+		stage2 := []Stmt{
+			Sampling{N: mSamples},
+			Sample{X: "p2", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+			Aggregate{X: "p2"},
+		}
+		prog := []Stmt{
+			Sampling{N: mSamples},
+			Sample{X: "p1", Dist: func(_ *Machine, p *Proc) Value { return p.PID }},
+			Aggregate{X: "p1", Aggr: func(m *Machine, p *Proc) Value {
+				// Continue to stage 2 with the aggregated result.
+				child := m.spawn(p.Sigma.Copy(), NewSampleStore(), ModeT, p.PID, stage2)
+				_ = child
+				return nil
+			}},
+		}
+		m := NewMachine(prog...)
+		m.Run(100000)
+		if m.Stuck() {
+			return false
+		}
+		var sCount int
+		for _, p := range m.Procs() {
+			if p.Mode == ModeS {
+				sCount++
+			}
+		}
+		return sCount == 2*mSamples // m*n, not m^n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIfTakesBranches(t *testing.T) {
+	m := NewMachine(
+		Assign{X: "x", E: Lit(5)},
+		If{
+			Cond: func(s Store) Value { return s["x"].(int) > 3 },
+			Then: []Stmt{Assign{X: "y", E: Lit("big")}},
+			Else: []Stmt{Assign{X: "y", E: Lit("small")}},
+		},
+		Assign{X: "after", E: Lit(1)},
+	)
+	m.Run(100)
+	if m.Root().Sigma["y"] != "big" {
+		t.Fatalf("y = %v", m.Root().Sigma["y"])
+	}
+	if m.Root().Sigma["after"] != 1 {
+		t.Fatal("continuation lost after If")
+	}
+}
+
+func TestIfElseAndNilBranch(t *testing.T) {
+	m := NewMachine(
+		If{
+			Cond: Lit(false),
+			Then: []Stmt{Assign{X: "y", E: Lit(1)}},
+			// nil Else: skip
+		},
+		Assign{X: "z", E: Lit(2)},
+	)
+	m.Run(100)
+	if _, ok := m.Root().Sigma["y"]; ok {
+		t.Fatal("Then ran despite false condition")
+	}
+	if m.Root().Sigma["z"] != 2 {
+		t.Fatal("continuation lost")
+	}
+}
+
+func TestIfGuardsSplit(t *testing.T) {
+	// Split only when the condition holds: input-dependent process trees.
+	mk := func(flag bool) int {
+		m := NewMachine(
+			Assign{X: "ok", E: Lit(flag)},
+			If{
+				Cond: func(s Store) Value { return s["ok"] },
+				Then: []Stmt{Split{}},
+			},
+			Assign{X: "w", E: Lit(1)},
+		)
+		m.Run(1000)
+		return len(m.Procs())
+	}
+	if mk(true) != 2 {
+		t.Fatalf("guarded split with true: %d procs", mk(true))
+	}
+	if mk(false) != 1 {
+		t.Fatalf("guarded split with false: %d procs", mk(false))
+	}
+}
+
+func TestInvokeRunsCallback(t *testing.T) {
+	ran := 0
+	m := NewMachine(
+		Invoke{CB: func(m *Machine, p *Proc) Value { ran++; return nil }},
+		Invoke{}, // nil callback is a NOP
+	)
+	m.Run(100)
+	if ran != 1 {
+		t.Fatalf("callback ran %d times", ran)
+	}
+}
+
+func TestStuckProcessesDiagnostic(t *testing.T) {
+	// A sampling process that syncs with no tuning parent consuming the
+	// notification would deadlock; build it manually.
+	m := NewMachine(Assign{X: "x", E: Lit(1)})
+	orphan := m.spawn(make(Store), NewSampleStore(), ModeS, 0, []Stmt{
+		Sync{},
+		Assign{X: "y", E: Lit(2)},
+	})
+	m.Run(1000)
+	stuck := m.StuckProcesses()
+	if len(stuck) != 1 {
+		t.Fatalf("stuck = %v", stuck)
+	}
+	if _, ok := stuck[orphan.PID]; !ok {
+		t.Fatalf("orphan not reported: %v", stuck)
+	}
+	if !m.Stuck() {
+		t.Fatal("Stuck() disagrees with StuckProcesses()")
+	}
+}
+
+func TestStuckProcessesEmptyOnCleanRun(t *testing.T) {
+	m := NewMachine(samplingProgram(3, nil)...)
+	m.Run(10000)
+	if got := m.StuckProcesses(); len(got) != 0 {
+		t.Fatalf("clean run reported stuck processes: %v", got)
+	}
+}

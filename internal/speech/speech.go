@@ -1,0 +1,423 @@
+// Package speech implements a DTW template-matching word recognizer in the
+// style of classic small-vocabulary systems (the paper's Sphinx benchmark
+// on the AN4 corpus). Audio is a synthetic spectrogram; recognition runs in
+// three stages — load/spectrogram (expensive), filter-bank feature
+// extraction, and DTW decoding against word templates — with 16 tunable
+// parameters split across the latter two stages, matching Table I's 16
+// parameters. Different synthetic speakers have different pitch shifts and
+// speaking rates, so different audio sets need different parameter
+// settings, as the paper observes.
+package speech
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// Params are the recognizer's 16 tunables.
+type Params struct {
+	// Feature extraction (stage 2).
+	FilterLow   float64 // lower edge of the filter bank, in [0, 1)
+	FilterHigh  float64 // upper edge of the filter bank, in (FilterLow, 1]
+	NumFilters  int     // filter-bank size
+	FrameLen    int     // spectrogram columns per analysis frame
+	FrameShift  int     // frame hop
+	Preemph     float64 // spectral tilt compensation in [0, 1]
+	EnergyFloor float64
+	NoiseGate   float64 // energies below this fraction of the peak are zeroed
+	// Decoding (stage 3).
+	DTWBand        int     // Sakoe-Chiba band half-width
+	DistExponent   float64 // frame distance exponent
+	LangWeight     float64 // weight of the word prior
+	InsertPenalty  float64 // flat per-word penalty
+	TemplateSmooth float64 // template time-smoothing factor in [0, 1)
+	WarpAlpha      float64 // frequency-warp compensation in [-0.3, 0.3]
+	SilenceThresh  float64 // frames quieter than this are dropped
+	BeamWidth      float64 // prune DTW cells worse than best*(1+beam); <=0 disables
+}
+
+// DefaultParams is the untuned configuration.
+func DefaultParams() Params {
+	return Params{
+		FilterLow: 0.0, FilterHigh: 1.0, NumFilters: 12,
+		FrameLen: 4, FrameShift: 2, Preemph: 0,
+		EnergyFloor: 1e-4, NoiseGate: 0,
+		DTWBand: 1000, DistExponent: 2, LangWeight: 0,
+		InsertPenalty: 0, TemplateSmooth: 0, WarpAlpha: 0,
+		SilenceThresh: 0, BeamWidth: 0,
+	}
+}
+
+// Work-unit costs per stage.
+const (
+	WorkLoad     = 20.0
+	WorkFeatures = 1.0
+	WorkDecode   = 1.5
+)
+
+// Spectrogram is a time × frequency energy matrix (T rows of F bins).
+type Spectrogram struct {
+	T, F int
+	E    []float64 // row-major
+}
+
+func (s Spectrogram) at(t, f int) float64 { return s.E[t*s.F+f] }
+
+// Vocabulary is the word list; priors fall off with index (frequent words
+// first), giving the language weight something to exploit.
+var Vocabulary = []string{
+	"zero", "one", "two", "three", "four",
+	"five", "six", "seven", "eight", "nine",
+}
+
+// contour returns word w's canonical frequency contour at relative time
+// u in [0,1]: each word is a distinct trajectory through frequency space.
+func contour(w int, u float64) float64 {
+	a := 0.25 + 0.05*float64(w%5)
+	b := 0.15 * math.Sin(2*math.Pi*(u+float64(w)/10))
+	c := 0.2 * u * float64(w%3)
+	v := a + b + c
+	return math.Min(0.95, math.Max(0.05, v))
+}
+
+// Audio is one utterance with its ground-truth word.
+type Audio struct {
+	Spec Spectrogram
+	Word int
+}
+
+// Speaker holds the per-speaker warps that make parameter settings
+// speaker-dependent.
+type Speaker struct {
+	Pitch float64 // frequency shift
+	Rate  float64 // speaking-rate multiplier
+	Noise float64
+}
+
+// GenSpeaker derives speaker i's characteristics deterministically.
+func GenSpeaker(seed int64, i int) Speaker {
+	r := rand.New(rand.NewSource(int64(dist.Mix(uint64(seed), uint64(i)+0x5B))))
+	return Speaker{
+		Pitch: (r.Float64() - 0.5) * 0.3,
+		Rate:  0.7 + 0.6*r.Float64(),
+		Noise: 0.05 + 0.15*r.Float64(),
+	}
+}
+
+// Synthesize renders word w spoken by the speaker as a spectrogram.
+func Synthesize(seed int64, sp Speaker, w int) Audio {
+	r := rand.New(rand.NewSource(int64(dist.Mix(uint64(seed), uint64(w)*31+7))))
+	baseT := 32 + 2*w // words have distinct canonical durations
+	T := int(float64(baseT) * sp.Rate)
+	if T < 12 {
+		T = 12
+	}
+	const F = 32
+	spec := Spectrogram{T: T, F: F, E: make([]float64, T*F)}
+	for t := 0; t < T; t++ {
+		u := float64(t) / float64(T-1)
+		center := contour(w, u) + sp.Pitch
+		for f := 0; f < F; f++ {
+			freq := float64(f) / float64(F-1)
+			d := (freq - center) / 0.08
+			spec.E[t*F+f] = math.Exp(-d*d) + r.Float64()*sp.Noise
+		}
+	}
+	return Audio{Spec: spec, Word: w}
+}
+
+// GenSpeakerSet builds one test set: n utterances of random words by one
+// speaker (the paper uses 10 sets of 5 audios).
+func GenSpeakerSet(seed int64, speaker int, n int) (Speaker, []Audio) {
+	sp := GenSpeaker(seed, speaker)
+	r := rand.New(rand.NewSource(int64(dist.Mix(uint64(seed), uint64(speaker)*977))))
+	var audios []Audio
+	for i := 0; i < n; i++ {
+		w := r.Intn(len(Vocabulary))
+		audios = append(audios, Synthesize(seed+int64(i)*131, sp, w))
+	}
+	return sp, audios
+}
+
+// Features converts a spectrogram into filter-bank feature frames under the
+// given parameters (stage 2).
+func Features(spec Spectrogram, p Params) [][]float64 {
+	nf := p.NumFilters
+	if nf < 2 {
+		nf = 2
+	}
+	lo := math.Max(0, math.Min(p.FilterLow, 0.9))
+	hi := math.Min(1, math.Max(p.FilterHigh, lo+0.05))
+	flen := p.FrameLen
+	if flen < 1 {
+		flen = 1
+	}
+	shift := p.FrameShift
+	if shift < 1 {
+		shift = 1
+	}
+	floor := math.Max(p.EnergyFloor, 1e-9)
+
+	// Peak energy for the noise gate.
+	peak := 0.0
+	for _, e := range spec.E {
+		if e > peak {
+			peak = e
+		}
+	}
+	gate := p.NoiseGate * peak
+
+	var frames [][]float64
+	for t0 := 0; t0+flen <= spec.T; t0 += shift {
+		feat := make([]float64, nf)
+		for b := 0; b < nf; b++ {
+			bandLo := lo + (hi-lo)*float64(b)/float64(nf)
+			bandHi := lo + (hi-lo)*float64(b+1)/float64(nf)
+			// Frequency-warp compensation: shift the analysis bands to
+			// follow a pitch-shifted speaker back into template space.
+			bandLo = clamp01(bandLo + p.WarpAlpha)
+			bandHi = clamp01(bandHi + p.WarpAlpha)
+			sum := 0.0
+			n := 0
+			for t := t0; t < t0+flen; t++ {
+				for f := 0; f < spec.F; f++ {
+					freq := float64(f) / float64(spec.F-1)
+					if freq < bandLo || freq >= bandHi {
+						continue
+					}
+					e := spec.at(t, f)
+					if e < gate {
+						e = 0
+					}
+					sum += e
+					n++
+				}
+			}
+			if n > 0 {
+				sum /= float64(n)
+			}
+			// Pre-emphasis tilts energy toward high bands.
+			tilt := 1 + p.Preemph*(float64(b)/float64(nf-1)-0.5)
+			feat[b] = math.Log(math.Max(sum*tilt, floor))
+		}
+		frames = append(frames, feat)
+	}
+	// Silence removal: drop frames whose total energy is below threshold.
+	if p.SilenceThresh > 0 {
+		kept := frames[:0]
+		for _, f := range frames {
+			sum := 0.0
+			for _, v := range f {
+				sum += math.Exp(v)
+			}
+			if sum >= p.SilenceThresh {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) > 0 {
+			frames = kept
+		}
+	}
+	return frames
+}
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+// Templates extracts the reference features of every vocabulary word from
+// clean canonical renderings (a neutral speaker) under the same parameters,
+// except WarpAlpha: the warp maps a shifted speaker into canonical template
+// space, so templates themselves are always extracted unwarped.
+func Templates(p Params) [][][]float64 {
+	neutral := Speaker{Pitch: 0, Rate: 1, Noise: 0}
+	tp := p
+	tp.WarpAlpha = 0
+	out := make([][][]float64, len(Vocabulary))
+	for w := range Vocabulary {
+		a := Synthesize(0x7E3, neutral, w)
+		f := Features(a.Spec, tp)
+		if p.TemplateSmooth > 0 && len(f) > 1 {
+			sm := math.Min(p.TemplateSmooth, 0.95)
+			for t := 1; t < len(f); t++ {
+				for b := range f[t] {
+					f[t][b] = (1-sm)*f[t][b] + sm*f[t-1][b]
+				}
+			}
+		}
+		out[w] = f
+	}
+	return out
+}
+
+// DTW computes the band-constrained dynamic-time-warping distance between
+// two feature sequences, normalized by path length.
+func DTW(a, b [][]float64, p Params) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	band := p.DTWBand
+	if band < 1 {
+		band = 1
+	}
+	exp := p.DistExponent
+	if exp <= 0 {
+		exp = 1
+	}
+	const inf = math.MaxFloat64 / 4
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := 1
+		hi := m
+		if band < m {
+			c := i * m / n
+			lo = maxInt(1, c-band)
+			hi = minInt(m, c+band)
+		}
+		rowBest := inf
+		for j := lo; j <= hi; j++ {
+			d := frameDist(a[i-1], b[j-1], exp)
+			best := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = d + best
+			if cur[j] < rowBest {
+				rowBest = cur[j]
+			}
+		}
+		// Beam pruning: drop cells too far above the row's best path.
+		if p.BeamWidth > 0 && rowBest < inf {
+			limit := rowBest + p.BeamWidth
+			for j := lo; j <= hi; j++ {
+				if cur[j] > limit {
+					cur[j] = inf
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	if prev[m] >= inf/2 {
+		// The band/beam constraints cut every path to the end: no valid
+		// alignment exists under these parameters.
+		return math.Inf(1)
+	}
+	return prev[m] / float64(n+m)
+}
+
+func frameDist(a, b []float64, exp float64) float64 {
+	n := minInt(len(a), len(b))
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Pow(math.Abs(a[i]-b[i]), exp)
+	}
+	return math.Pow(s/float64(n), 1/exp)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Recognize decodes one audio against the templates: the word minimizing
+// DTW distance plus language-model and insertion terms.
+func Recognize(a Audio, templates [][][]float64, p Params) int {
+	feats := Features(a.Spec, p)
+	best, bestScore := 0, math.Inf(1)
+	for w, tmpl := range templates {
+		d := DTW(feats, tmpl, p)
+		// Zipf-ish prior over the vocabulary.
+		prior := math.Log(float64(w) + 1.5)
+		// The insertion penalty charges length mismatch between utterance
+		// and template — the single-word analogue of penalizing inserted
+		// words in a sequence decode.
+		mismatch := math.Abs(float64(len(feats)-len(tmpl))) / float64(len(tmpl)+1)
+		score := d + p.LangWeight*prior + p.InsertPenalty*mismatch
+		if score < bestScore {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}
+
+// SelfTest scores a configuration on calibration recordings: clean
+// renderings of every vocabulary word by a neutral speaker at a slightly
+// different speaking rate than the templates. A configuration that cannot
+// recognize its own calibration set is broken (degenerate filter band,
+// over-aggressive gating); the white-box tuning program prunes such
+// samples before paying for real decoding. Returns the number of
+// calibration words recognized (0..len(Vocabulary)).
+func SelfTest(templates [][][]float64, p Params) float64 {
+	cal := Speaker{Pitch: 0, Rate: 0.9, Noise: 0.02}
+	correct := 0
+	for w := range Vocabulary {
+		if Recognize(Synthesize(0xCA1, cal, w), templates, p) == w {
+			correct++
+		}
+	}
+	return float64(correct)
+}
+
+// SpectralCentroid is the energy-weighted mean frequency of a spectrogram,
+// in the same normalized [0, 1] frequency axis the filter bank uses.
+func SpectralCentroid(spec Spectrogram) float64 {
+	num, den := 0.0, 0.0
+	for t := 0; t < spec.T; t++ {
+		for f := 0; f < spec.F; f++ {
+			freq := float64(f) / float64(spec.F-1)
+			e := spec.at(t, f)
+			num += freq * e
+			den += e
+		}
+	}
+	if den == 0 {
+		return 0.5
+	}
+	return num / den
+}
+
+// EstimatePitchShift estimates a speaker's pitch shift from internal state:
+// the gap between the audios' mean spectral centroid and the canonical
+// vocabulary's. This is information only a white-box tuner can use — the
+// black box never sees the spectrograms.
+func EstimatePitchShift(audios []Audio) float64 {
+	obs := 0.0
+	for _, a := range audios {
+		obs += SpectralCentroid(a.Spec)
+	}
+	obs /= float64(len(audios))
+	neutral := Speaker{Pitch: 0, Rate: 1, Noise: 0}
+	ref := 0.0
+	for w := range Vocabulary {
+		ref += SpectralCentroid(Synthesize(0x7E3, neutral, w).Spec)
+	}
+	ref /= float64(len(Vocabulary))
+	return obs - ref
+}
+
+// Precision counts how many of the audios are recognized correctly under
+// the given parameters (0..len(audios)), the Fig. 20 metric.
+func Precision(audios []Audio, templates [][][]float64, p Params) float64 {
+	correct := 0
+	for _, a := range audios {
+		if Recognize(a, templates, p) == a.Word {
+			correct++
+		}
+	}
+	return float64(correct)
+}

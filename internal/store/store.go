@@ -1,0 +1,187 @@
+// Package store implements the two stores of the WBTuner semantics (Fig. 8):
+//
+//   - the exposed store: a mapping from scope-qualified variable names to
+//     values, written by @expose and read by @load from inside callbacks;
+//   - the aggregation store: a mapping from variable names to vectors of
+//     sampled values, written by sampling processes at @aggregate and read by
+//     @loadS(x, i) in the tuning process.
+//
+// The paper's C runtime keys the exposed store by variable name plus scope
+// (function name) and backs the aggregation store with per-process files;
+// here both are in-memory and safe for concurrent use, which preserves the
+// observable semantics without a filesystem dependency.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Exposed is the exposed store. Keys combine a scope (typically the function
+// or stage name) with a variable name so same-named locals from different
+// scopes stay distinct, exactly as the paper's encoding does.
+type Exposed struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewExposed returns an empty exposed store.
+func NewExposed() *Exposed {
+	return &Exposed{m: make(map[string]any)}
+}
+
+func key(scope, name string) string { return scope + "\x00" + name }
+
+// Set exposes name in scope with the given value, overwriting any previous
+// exposure of the same scoped name.
+func (e *Exposed) Set(scope, name string, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.m[key(scope, name)] = v
+}
+
+// Get loads an exposed variable. The boolean reports whether it was exposed.
+func (e *Exposed) Get(scope, name string) (any, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.m[key(scope, name)]
+	return v, ok
+}
+
+// MustGet loads an exposed variable and panics with a descriptive message if
+// it was never exposed. Loading a variable that was not exposed is always a
+// bug in the tuning program, mirroring the paper's runtime which would read
+// a missing store entry.
+func (e *Exposed) MustGet(scope, name string) any {
+	v, ok := e.Get(scope, name)
+	if !ok {
+		panic(fmt.Sprintf("store: variable %q was not exposed in scope %q", name, scope))
+	}
+	return v
+}
+
+// Len reports the number of exposed variables.
+func (e *Exposed) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.m)
+}
+
+// Snapshot returns a copy of the underlying map with human-readable
+// "scope/name" keys, for debugging and tests.
+func (e *Exposed) Snapshot() map[string]any {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]any, len(e.m))
+	for k, v := range e.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Agg is the aggregation store of one tuning process. It maps each sample
+// result variable x to a vector δ(x) whose i-th entry holds the value of x
+// committed by the i-th sampling process (semantics rule [AGGR-S]).
+type Agg struct {
+	mu sync.RWMutex
+	m  map[string]map[int]any
+}
+
+// NewAgg returns an empty aggregation store.
+func NewAgg() *Agg {
+	return &Agg{m: make(map[string]map[int]any)}
+}
+
+// Put commits the value of x from sampling process index i. A second commit
+// for the same (x, i) overwrites: a sampling process that commits the same
+// variable twice keeps its latest value, matching δ[x[pid] ↦ σ(x)].
+func (a *Agg) Put(x string, i int, v any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vec, ok := a.m[x]
+	if !ok {
+		vec = make(map[int]any)
+		a.m[x] = vec
+	}
+	vec[i] = v
+}
+
+// Get loads the i-th sample outcome of x (rule [LOADSAMPLE]). The boolean
+// reports whether sampling process i committed x at all — a pruned process
+// (@check returned false) never commits.
+func (a *Agg) Get(x string, i int) (any, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	vec, ok := a.m[x]
+	if !ok {
+		return nil, false
+	}
+	v, ok := vec[i]
+	return v, ok
+}
+
+// Len reports how many sampling processes committed x.
+func (a *Agg) Len(x string) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.m[x])
+}
+
+// Indices returns the sorted sampling-process indices that committed x.
+func (a *Agg) Indices(x string) []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	vec := a.m[x]
+	out := make([]int, 0, len(vec))
+	for i := range vec {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Vec returns the committed values of x ordered by sampling-process index.
+// Gaps left by pruned processes are skipped, so the slice is dense.
+func (a *Agg) Vec(x string) []any {
+	idx := a.Indices(x)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]any, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, a.m[x][i])
+	}
+	return out
+}
+
+// Vars returns the sorted names of all committed sample result variables.
+func (a *Agg) Vars() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.m))
+	for x := range a.m {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total reports the total number of committed entries across all variables,
+// the memory-footprint proxy used by the Fig. 10 experiment.
+func (a *Agg) Total() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	n := 0
+	for _, vec := range a.m {
+		n += len(vec)
+	}
+	return n
+}
+
+// Clear removes all entries, readying the store for the next sampling round
+// (auto-tuned sampling re-runs a region with a doubled sample count).
+func (a *Agg) Clear() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m = make(map[string]map[int]any)
+}

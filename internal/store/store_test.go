@@ -1,0 +1,238 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestExposedScopesAreDistinct(t *testing.T) {
+	e := NewExposed()
+	e.Set("canny", "imgSize", 100)
+	e.Set("main", "imgSize", 7)
+	if v, _ := e.Get("canny", "imgSize"); v != 100 {
+		t.Fatalf("canny/imgSize = %v", v)
+	}
+	if v, _ := e.Get("main", "imgSize"); v != 7 {
+		t.Fatalf("main/imgSize = %v", v)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestExposedMissing(t *testing.T) {
+	e := NewExposed()
+	if _, ok := e.Get("s", "x"); ok {
+		t.Fatal("Get of missing variable reported ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet of missing variable should panic")
+		}
+	}()
+	e.MustGet("s", "x")
+}
+
+func TestExposedOverwrite(t *testing.T) {
+	e := NewExposed()
+	e.Set("s", "x", 1)
+	e.Set("s", "x", 2)
+	if v := e.MustGet("s", "x"); v != 2 {
+		t.Fatalf("overwrite kept %v", v)
+	}
+}
+
+func TestExposedNoKeyCollision(t *testing.T) {
+	// Scope "a" + name "b::c" must not collide with scope "a::b" + name "c"
+	// under any naive string concatenation.
+	e := NewExposed()
+	e.Set("a", "b\x00c", 1) // adversarial name containing the separator
+	e.Set("a\x00b", "c", 2)
+	v1, _ := e.Get("a", "b\x00c")
+	v2, _ := e.Get("a\x00b", "c")
+	// Even with the adversarial name the two keys collide by construction;
+	// this documents the limitation: NUL is reserved. Values must at least
+	// be last-writer-wins rather than corrupted.
+	if v1 != v2 {
+		t.Fatalf("reserved separator produced inconsistent reads: %v vs %v", v1, v2)
+	}
+	// Normal names never collide.
+	e2 := NewExposed()
+	e2.Set("a", "b.c", 10)
+	e2.Set("a.b", "c", 20)
+	x, _ := e2.Get("a", "b.c")
+	y, _ := e2.Get("a.b", "c")
+	if x == y {
+		t.Fatal("distinct scoped names collided")
+	}
+}
+
+func TestExposedConcurrent(t *testing.T) {
+	e := NewExposed()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Set("scope", "v", g*1000+i)
+				e.Get("scope", "v")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, ok := e.Get("scope", "v"); !ok {
+		t.Fatal("value lost after concurrent writes")
+	}
+}
+
+func TestAggPutGetVec(t *testing.T) {
+	a := NewAgg()
+	a.Put("y", 2, 20)
+	a.Put("y", 0, 0)
+	a.Put("y", 1, 10)
+	if a.Len("y") != 3 {
+		t.Fatalf("Len = %d", a.Len("y"))
+	}
+	if v, ok := a.Get("y", 1); !ok || v != 10 {
+		t.Fatalf("Get(y,1) = %v, %v", v, ok)
+	}
+	vec := a.Vec("y")
+	if len(vec) != 3 || vec[0] != 0 || vec[1] != 10 || vec[2] != 20 {
+		t.Fatalf("Vec ordering wrong: %v", vec)
+	}
+}
+
+func TestAggGapsFromPrunedProcesses(t *testing.T) {
+	a := NewAgg()
+	a.Put("y", 0, "a")
+	a.Put("y", 5, "b") // processes 1..4 were pruned and never committed
+	if _, ok := a.Get("y", 3); ok {
+		t.Fatal("pruned index should be absent")
+	}
+	if got := a.Indices("y"); len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("Indices = %v", got)
+	}
+	if vec := a.Vec("y"); len(vec) != 2 {
+		t.Fatalf("Vec should be dense, got %v", vec)
+	}
+}
+
+func TestAggOverwriteSameIndex(t *testing.T) {
+	a := NewAgg()
+	a.Put("y", 0, 1)
+	a.Put("y", 0, 2)
+	if a.Len("y") != 1 {
+		t.Fatalf("Len after overwrite = %d", a.Len("y"))
+	}
+	if v, _ := a.Get("y", 0); v != 2 {
+		t.Fatalf("overwrite kept %v", v)
+	}
+}
+
+func TestAggVarsAndClear(t *testing.T) {
+	a := NewAgg()
+	a.Put("b", 0, 1)
+	a.Put("a", 0, 1)
+	if vars := a.Vars(); len(vars) != 2 || vars[0] != "a" || vars[1] != "b" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	a.Clear()
+	if len(a.Vars()) != 0 || a.Len("a") != 0 {
+		t.Fatal("Clear did not empty the store")
+	}
+}
+
+func TestAggMissingVariable(t *testing.T) {
+	a := NewAgg()
+	if a.Len("nope") != 0 {
+		t.Fatal("Len of missing var should be 0")
+	}
+	if got := a.Vec("nope"); len(got) != 0 {
+		t.Fatal("Vec of missing var should be empty")
+	}
+	if _, ok := a.Get("nope", 0); ok {
+		t.Fatal("Get of missing var reported ok")
+	}
+}
+
+func TestAggConcurrentCommits(t *testing.T) {
+	a := NewAgg()
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a.Put("y", i, i*i)
+		}(i)
+	}
+	wg.Wait()
+	if a.Len("y") != n {
+		t.Fatalf("lost commits: Len = %d, want %d", a.Len("y"), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := a.Get("y", i); !ok || v != i*i {
+			t.Fatalf("entry %d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+// Property: after putting values at arbitrary indices, Vec returns them in
+// ascending index order and Len equals the number of distinct indices.
+func TestPropertyAggVecSorted(t *testing.T) {
+	f := func(idxs []uint8) bool {
+		a := NewAgg()
+		distinct := map[int]bool{}
+		for _, u := range idxs {
+			i := int(u)
+			a.Put("x", i, i)
+			distinct[i] = true
+		}
+		if a.Len("x") != len(distinct) {
+			return false
+		}
+		prev := -1
+		for _, i := range a.Indices("x") {
+			if i <= prev {
+				return false
+			}
+			prev = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExposedSnapshot(t *testing.T) {
+	e := NewExposed()
+	e.Set("a", "x", 1)
+	e.Set("b", "y", 2)
+	snap := e.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	// Mutating the snapshot must not affect the store.
+	for k := range snap {
+		snap[k] = 99
+	}
+	if v, _ := e.Get("a", "x"); v != 1 {
+		t.Fatal("snapshot aliased the store")
+	}
+}
+
+func TestAggTotal(t *testing.T) {
+	a := NewAgg()
+	if a.Total() != 0 {
+		t.Fatal("empty Total != 0")
+	}
+	a.Put("x", 0, 1)
+	a.Put("x", 1, 1)
+	a.Put("y", 0, 1)
+	if a.Total() != 3 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}

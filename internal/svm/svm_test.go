@@ -1,0 +1,175 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+func gen() Dataset { return Gen(1, 120, 40, 3, 0.08) }
+
+func TestGenShape(t *testing.T) {
+	ds := gen()
+	if len(ds.X) != 120 || len(ds.Y) != 120 || ds.Classes != 3 {
+		t.Fatal("shape wrong")
+	}
+	for _, y := range ds.Y {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label %d", y)
+		}
+	}
+	b := Gen(1, 120, 40, 3, 0.08)
+	if ds.X[3][7] != b.X[3][7] {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestTrainLearnsSeparableStructure(t *testing.T) {
+	ds := Gen(2, 150, 24, 3, 0.0)
+	train, test := ds.Split()
+	m := Train(train, DefaultParams(), 1)
+	if e := ErrorRate(m, test); e > 0.25 {
+		t.Fatalf("test error %g on clean data", e)
+	}
+}
+
+func TestTrainDeterministicInSeed(t *testing.T) {
+	ds := gen()
+	a := Train(ds, DefaultParams(), 5)
+	b := Train(ds, DefaultParams(), 5)
+	for c := range a.W {
+		for d := range a.W[c] {
+			if a.W[c][d] != b.W[c][d] {
+				t.Fatal("training not deterministic")
+			}
+		}
+	}
+}
+
+func TestOverfittingScenario(t *testing.T) {
+	// Tiny lambda + many epochs memorizes train noise: train error far
+	// below test error. This is the premise of Fig. 17.
+	gaps := 0
+	for seed := int64(0); seed < 4; seed++ {
+		ds := Gen(seed, 90, 60, 3, 0.15)
+		train, test := ds.Split()
+		p := Params{Lambda: 1e-7, Epochs: 80, Eta0: 1, EtaDecay: 0.7,
+			Bias: 1, Margin: 1, FeatScale: 1, PosWeight: 1}
+		m := Train(train, p, 2)
+		trainErr := ErrorRate(m, train)
+		testErr := ErrorRate(m, test)
+		if trainErr < 0.1 && testErr > trainErr+0.1 {
+			gaps++
+		}
+	}
+	if gaps < 3 {
+		t.Fatalf("overfitting gap appeared on only %d/4 datasets", gaps)
+	}
+}
+
+func TestRegularizationNarrowsGap(t *testing.T) {
+	// With a sane lambda the train/test gap shrinks versus the overfit
+	// configuration, averaged over seeds.
+	narrower := 0
+	for seed := int64(0); seed < 4; seed++ {
+		ds := Gen(seed, 90, 60, 3, 0.15)
+		train, test := ds.Split()
+		over := Train(train, Params{Lambda: 1e-7, Epochs: 80, Eta0: 1, EtaDecay: 0.7,
+			Bias: 1, Margin: 1, FeatScale: 1, PosWeight: 1}, 2)
+		reg := Train(train, Params{Lambda: 3e-3, Epochs: 30, Eta0: 0.5, EtaDecay: 1,
+			Bias: 1, Margin: 1, FeatScale: 1, PosWeight: 1}, 2)
+		overGap := ErrorRate(over, test) - ErrorRate(over, train)
+		regGap := ErrorRate(reg, test) - ErrorRate(reg, train)
+		if regGap < overGap {
+			narrower++
+		}
+	}
+	if narrower < 3 {
+		t.Fatalf("regularization narrowed the gap on only %d/4 datasets", narrower)
+	}
+}
+
+func TestFoldsPartition(t *testing.T) {
+	folds := Folds(10, 3)
+	if len(folds) != 3 {
+		t.Fatal("fold count wrong")
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("folds cover %d of 10", len(seen))
+	}
+}
+
+func TestFoldsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Folds(10, 1)
+}
+
+func TestTrainFoldValidatesHeldOut(t *testing.T) {
+	ds := Gen(3, 120, 24, 3, 0.05)
+	folds := Folds(len(ds.X), 4)
+	e := TrainFold(ds, DefaultParams(), folds, 0, 1)
+	if math.IsNaN(e) || e < 0 || e > 1 {
+		t.Fatalf("validation error %g", e)
+	}
+}
+
+func TestCVErrorTracksTestErrorBetterThanTrainError(t *testing.T) {
+	// The point of cross-validation: CV error is a less biased estimate of
+	// test error than training error for an overfit configuration.
+	ds := Gen(4, 90, 60, 3, 0.15)
+	train, test := ds.Split()
+	p := Params{Lambda: 1e-7, Epochs: 60, Eta0: 1, EtaDecay: 0.7,
+		Bias: 1, Margin: 1, FeatScale: 1, PosWeight: 1}
+	m := Train(train, p, 2)
+	trainErr := ErrorRate(m, train)
+	testErr := ErrorRate(m, test)
+	folds := Folds(len(train.X), 3)
+	cv := 0.0
+	for f := range folds {
+		cv += TrainFold(train, p, folds, f, 2)
+	}
+	cv /= float64(len(folds))
+	if math.Abs(cv-testErr) >= math.Abs(trainErr-testErr) {
+		t.Fatalf("CV estimate (%g) no closer to test error (%g) than train error (%g)",
+			cv, testErr, trainErr)
+	}
+}
+
+func TestParamClamping(t *testing.T) {
+	ds := Gen(5, 60, 20, 3, 0)
+	// Degenerate params must not panic or produce NaNs.
+	m := Train(ds, Params{Lambda: -1, Epochs: 0, Eta0: -1, EtaDecay: 99,
+		Bias: 0, Margin: -1, FeatScale: -1, PosWeight: -1}, 1)
+	for _, w := range m.W {
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("weights exploded")
+			}
+		}
+	}
+	_ = ErrorRate(m, ds)
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	ds := gen()
+	train, test := ds.Split()
+	if len(train.X)+len(test.X) != len(ds.X) {
+		t.Fatal("split lost examples")
+	}
+	sub := ds.Subset([]int{0, 2})
+	if len(sub.X) != 2 || sub.Y[1] != ds.Y[2] {
+		t.Fatal("Subset wrong")
+	}
+}
