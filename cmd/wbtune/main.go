@@ -4,15 +4,31 @@
 //
 //	wbtune -bench Canny -mode wb
 //	wbtune -bench SVM -mode ot -budget 200
+//	wbtune -bench Canny -mode wb -metrics /dev/stdout
+//	wbtune -bench Canny -mode wb -trace trace.jsonl
+//	wbtune -bench Canny -mode wb -http :8080
 //	wbtune -list
+//
+// -metrics writes the run's metrics in Prometheus text format after the
+// run ("-" for stdout); -trace writes the runtime trace as JSONL; -http
+// serves /metrics (Prometheus), /metrics.json (JSON snapshot) and
+// /debug/trace (JSONL) and keeps serving after the run until interrupted.
+// Metrics and traces only cover white-box (wb) runs — the native and
+// black-box paths do not go through the instrumented runtime.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,6 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	budget := flag.Float64("budget", 0, "work-unit budget (0 = benchmark default)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	metricsPath := flag.String("metrics", "", `write Prometheus text-format metrics to this file after the run ("-" = stdout)`)
+	tracePath := flag.String("trace", "", `write the runtime trace as JSONL to this file ("-" = stdout)`)
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/trace on this address (e.g. :8080) and block after the run")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +59,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wbtune: unknown benchmark %q (try -list)\n", *name)
 		os.Exit(2)
 	}
+
+	// Observability: one registry and trace for the whole run, installed
+	// into every white-box tuner the bench harness creates.
+	observing := *metricsPath != "" || *tracePath != "" || *httpAddr != ""
+	var (
+		reg   *obs.Registry
+		trace *core.Trace
+	)
+	if observing {
+		reg = obs.NewRegistry()
+		trace = core.NewTrace()
+		restore := bench.Observe(reg, trace)
+		defer restore()
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = trace.WriteJSONL(w)
+		})
+		srv := &http.Server{Addr: *httpAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "wbtune: -http: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
 	var out bench.Outcome
 	switch *mode {
 	case "native":
@@ -61,4 +117,40 @@ func main() {
 	fmt.Printf("work:       %.1f units (serial %.1f, parallel %.1f)\n",
 		out.Work, out.WorkSerial, out.WorkParallel)
 	fmt.Printf("samples:    %d configurations\n", out.Samples)
+
+	if *metricsPath != "" {
+		if err := writeTo(*metricsPath, reg.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTo(*tracePath, trace.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Printf("serving metrics on %s (/metrics, /metrics.json, /debug/trace); Ctrl-C to exit\n", *httpAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// writeTo streams write(w) to path, treating "-" and /dev/stdout as
+// standard output (opening /dev/stdout with truncation is not portable).
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" || path == "/dev/stdout" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

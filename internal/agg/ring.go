@@ -1,6 +1,10 @@
 package agg
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Ring is the bounded shared buffer of Sec. IV-B: sampling processes copy
 // their results into it and the tuning process drains it to aggregate
@@ -20,6 +24,30 @@ type Ring struct {
 	n        int // number of buffered elements
 	peak     int
 	closed   bool
+
+	// Optional instruments (nil without Instrument): current occupancy and
+	// the size distribution of drain batches.
+	occ   *obs.Gauge
+	batch *obs.Histogram
+}
+
+// Instrument attaches metrics to the ring: occ tracks the number of
+// buffered values, batch observes the size of every non-empty drain.
+// Either may be nil. Call before the ring sees traffic; rings are
+// per-round, so several rings may share the same instruments (the gauge is
+// then last-writer-wins, which is fine for an occupancy signal).
+func (r *Ring) Instrument(occ *obs.Gauge, batch *obs.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.occ = occ
+	r.batch = batch
+}
+
+// noteOccupancy publishes r.n. Callers must hold r.mu.
+func (r *Ring) noteOccupancy() {
+	if r.occ != nil {
+		r.occ.Set(float64(r.n))
+	}
 }
 
 // NewRing returns a ring buffer with the given capacity (>= 1).
@@ -49,6 +77,7 @@ func (r *Ring) Put(v any) {
 	if r.n > r.peak {
 		r.peak = r.n
 	}
+	r.noteOccupancy()
 	r.notEmpty.Signal()
 }
 
@@ -73,6 +102,10 @@ func (r *Ring) WaitDrain() ([]any, bool) {
 		r.head = (r.head + 1) % len(r.buf)
 		r.n--
 	}
+	r.noteOccupancy()
+	if r.batch != nil {
+		r.batch.Observe(float64(len(out)))
+	}
 	r.notFull.Broadcast()
 	r.mu.Unlock()
 	return out, true
@@ -91,6 +124,10 @@ func (r *Ring) Drain() []any {
 		r.buf[r.head] = nil
 		r.head = (r.head + 1) % len(r.buf)
 		r.n--
+	}
+	r.noteOccupancy()
+	if r.batch != nil {
+		r.batch.Observe(float64(len(out)))
 	}
 	r.notFull.Broadcast()
 	return out

@@ -1,0 +1,52 @@
+package agg
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRingInstrument checks the occupancy gauge and drain-batch histogram
+// wiring on the incremental-aggregation ring.
+func TestRingInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	occ := reg.Gauge("ring_occupancy")
+	batch := reg.Histogram("ring_drain_batch", obs.SizeBuckets())
+
+	r := NewRing(4)
+	r.Instrument(occ, batch)
+
+	r.Put(1)
+	r.Put(2)
+	if got := occ.Value(); got != 2 {
+		t.Fatalf("occupancy after 2 puts = %v, want 2", got)
+	}
+	if got := r.Drain(); len(got) != 2 {
+		t.Fatalf("drained %d values, want 2", len(got))
+	}
+	if got := occ.Value(); got != 0 {
+		t.Fatalf("occupancy after drain = %v, want 0", got)
+	}
+	if got := batch.Count(); got != 1 {
+		t.Fatalf("batch observations = %d, want 1", got)
+	}
+	if got := batch.Sum(); got != 2 {
+		t.Fatalf("batch sum = %v, want 2 (one drain of 2)", got)
+	}
+
+	r.Put(3)
+	if items, ok := r.WaitDrain(); !ok || len(items) != 1 {
+		t.Fatalf("WaitDrain = %v, %v; want one item", items, ok)
+	}
+	if got := batch.Count(); got != 2 {
+		t.Fatalf("batch observations after WaitDrain = %d, want 2", got)
+	}
+
+	// An empty Drain must not observe a zero-sized batch.
+	if got := r.Drain(); got != nil {
+		t.Fatalf("empty drain returned %v", got)
+	}
+	if got := batch.Count(); got != 2 {
+		t.Fatalf("empty drain was observed: count = %d, want 2", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Outcome is the result of one tuning (or native) run.
@@ -153,4 +154,25 @@ func newCore(o core.Options) *core.Tuner {
 		TunerHook(t)
 	}
 	return t
+}
+
+// Observe installs a metrics registry and an optional trace into every
+// white-box tuning run this package starts, composing with any OptionsHook
+// already in place. It returns a restore func that reinstates the previous
+// hook. Like OptionsHook itself, call it only between sequential runs.
+func Observe(reg *obs.Registry, tr *core.Trace) (restore func()) {
+	prev := OptionsHook
+	OptionsHook = func(o core.Options) core.Options {
+		if prev != nil {
+			o = prev(o)
+		}
+		if reg != nil {
+			o.Obs = reg
+		}
+		if tr != nil {
+			o.Trace = tr
+		}
+		return o
+	}
+	return func() { OptionsHook = prev }
 }

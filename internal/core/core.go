@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/strategy"
@@ -53,6 +54,12 @@ type Options struct {
 	// Trace, when non-nil, records runtime events (region/round/sample
 	// lifecycle, splits) for debugging and for rendering the tuning tree.
 	Trace *Trace
+	// Obs, when non-nil, receives the runtime's metrics: per-region
+	// latency and sample-duration histograms, per-round sample outcome
+	// counters, scheduler admission-wait and pool-occupancy metrics, and
+	// incremental-aggregation ring metrics. Hot-path updates are atomic;
+	// with Obs nil the runtime records nothing.
+	Obs *obs.Registry
 	// Budget, when positive, bounds the total work units the tuner may
 	// spend (Work calls accumulate against it). Once exceeded, regions stop
 	// launching new sampling processes. Work units stand in for the
@@ -100,6 +107,7 @@ type Tuner struct {
 	opts    Options
 	sched   *sched.Scheduler
 	exposed *store.Exposed
+	obsv    *tunerObs // nil when Options.Obs is nil
 
 	workMilli int64 // atomic; total work in 1/1024 units
 
@@ -117,12 +125,17 @@ func New(opts Options) *Tuner {
 	if opts.MaxPool < 1 {
 		panic("core: MaxPool must be positive")
 	}
-	return &Tuner{
+	t := &Tuner{
 		opts:     opts,
 		sched:    sched.New(opts.MaxPool, opts.DisableScheduler),
 		exposed:  store.NewExposed(),
+		obsv:     newTunerObs(opts.Obs),
 		feedback: make(map[string][]strategy.Feedback),
 	}
+	if opts.Obs != nil {
+		t.sched.Instrument(opts.Obs)
+	}
+	return t
 }
 
 // Run executes the tuning program fn as the root tuning process and waits
@@ -293,6 +306,7 @@ func (p *P) Split(fn func(child *P) error) {
 	p.t.mu.Lock()
 	p.t.metrics.Splits++
 	p.t.mu.Unlock()
+	p.t.obsv.noteSplit()
 	p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
 	p.wg.Add(1)
 	atomic.AddInt64(&p.pending, 1)

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metric names the runtime registers when Options.Obs is set. Region-scoped
+// metrics carry a region label with the RegionSpec.Name; sample counters
+// additionally carry result=done|pruned|failed.
+const (
+	// MetricRegionDuration times whole Region calls (all rounds of
+	// auto-tuned sampling included), per region.
+	MetricRegionDuration = "wbtuner_region_duration_seconds"
+	// MetricSampleDuration times individual sampling-process bodies
+	// (drawing, computing, committing, scoring), per region.
+	MetricSampleDuration = "wbtuner_sample_duration_seconds"
+	// MetricRounds counts sampling rounds, per region.
+	MetricRounds = "wbtuner_rounds_total"
+	// MetricSamples counts finished sampling processes by outcome, per
+	// region (result=done|pruned|failed).
+	MetricSamples = "wbtuner_samples_total"
+	// MetricSplits counts child tuning processes spawned with Split.
+	MetricSplits = "wbtuner_splits_total"
+	// MetricRingOccupancy gauges the values buffered in the incremental-
+	// aggregation ring (last-writer-wins across concurrent regions).
+	MetricRingOccupancy = "wbtuner_ring_occupancy"
+	// MetricRingDrainBatch observes the size of every ring drain batch.
+	MetricRingDrainBatch = "wbtuner_ring_drain_batch_size"
+)
+
+// tunerObs caches the Tuner's instruments so the hot paths never hit the
+// registry lock: tuner-wide instruments are looked up once at New,
+// region-scoped ones once per region name. A nil *tunerObs (observability
+// off) is valid everywhere.
+type tunerObs struct {
+	reg       *obs.Registry
+	splits    *obs.Counter
+	ringOcc   *obs.Gauge
+	ringBatch *obs.Histogram
+
+	mu      sync.Mutex
+	regions map[string]*regionObs
+}
+
+// regionObs holds one region name's instruments.
+type regionObs struct {
+	duration  *obs.Histogram
+	sampleDur *obs.Histogram
+	rounds    *obs.Counter
+	done      *obs.Counter
+	pruned    *obs.Counter
+	failed    *obs.Counter
+}
+
+func newTunerObs(reg *obs.Registry) *tunerObs {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp(MetricRegionDuration, "wall time of Region calls, all sampling rounds included")
+	reg.SetHelp(MetricSampleDuration, "wall time of sampling-process bodies")
+	reg.SetHelp(MetricRounds, "sampling rounds started")
+	reg.SetHelp(MetricSamples, "sampling processes finished, by outcome")
+	reg.SetHelp(MetricSplits, "child tuning processes spawned with Split")
+	reg.SetHelp(MetricRingOccupancy, "values buffered in the incremental-aggregation ring")
+	reg.SetHelp(MetricRingDrainBatch, "values folded per incremental-aggregation drain")
+	return &tunerObs{
+		reg:       reg,
+		splits:    reg.Counter(MetricSplits),
+		ringOcc:   reg.Gauge(MetricRingOccupancy),
+		ringBatch: reg.Histogram(MetricRingDrainBatch, obs.SizeBuckets()),
+		regions:   make(map[string]*regionObs),
+	}
+}
+
+// region returns the cached instruments for a region name, creating them on
+// first use. Safe on a nil receiver (returns nil).
+func (o *tunerObs) region(name string) *regionObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if ro, ok := o.regions[name]; ok {
+		return ro
+	}
+	ro := &regionObs{
+		duration:  o.reg.Histogram(MetricRegionDuration, obs.DurationBuckets(), "region", name),
+		sampleDur: o.reg.Histogram(MetricSampleDuration, obs.DurationBuckets(), "region", name),
+		rounds:    o.reg.Counter(MetricRounds, "region", name),
+		done:      o.reg.Counter(MetricSamples, "region", name, "result", "done"),
+		pruned:    o.reg.Counter(MetricSamples, "region", name, "result", "pruned"),
+		failed:    o.reg.Counter(MetricSamples, "region", name, "result", "failed"),
+	}
+	o.regions[name] = ro
+	return ro
+}
+
+// noteSplit counts one Split. Safe on a nil receiver.
+func (o *tunerObs) noteSplit() {
+	if o != nil {
+		o.splits.Inc()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/agg"
 	"repro/internal/sched"
@@ -108,6 +109,10 @@ func (p *P) Region(spec RegionSpec, body func(sp *SP) error) (*Result, error) {
 	t.mu.Lock()
 	t.metrics.Regions++
 	t.mu.Unlock()
+	if ro := t.obsv.region(spec.Name); ro != nil {
+		t0 := time.Now()
+		defer ro.duration.ObserveSince(t0)
+	}
 	t.opts.Trace.add(Event{Kind: EvRegionStart, Region: spec.Name, PID: p.pid, Sample: -1})
 	defer t.opts.Trace.add(Event{Kind: EvRegionEnd, Region: spec.Name, PID: p.pid, Sample: -1})
 
@@ -171,6 +176,7 @@ type regionState struct {
 	store  *store.Agg
 	incs   map[string]agg.Incremental
 	shared []*svgShared // per-group shared draws under CV
+	ro     *regionObs   // nil when observability is off
 
 	mu       sync.Mutex
 	scoreSum []float64
@@ -221,6 +227,10 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	t.mu.Lock()
 	t.metrics.Rounds++
 	t.mu.Unlock()
+	ro := t.obsv.region(spec.Name)
+	if ro != nil {
+		ro.rounds.Inc()
+	}
 	t.opts.Trace.add(Event{Kind: EvRoundStart, Region: spec.Name, PID: p.pid, Round: round, Sample: -1, N: n})
 
 	// The tuning process pauses for the duration of the region (execution
@@ -239,6 +249,7 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 		seed:     t.regionSeed(spec.Name, round),
 		n:        n,
 		k:        k,
+		ro:       ro,
 		store:    store.NewAgg(),
 		incs:     make(map[string]agg.Incremental),
 		scoreSum: make([]float64, n),
@@ -267,6 +278,9 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	rs.barrier = newBarrier(rs)
 	if t.opts.Incremental && len(rs.incs) > 0 {
 		rs.ring = agg.NewRing(ringCap)
+		if t.obsv != nil {
+			rs.ring.Instrument(t.obsv.ringOcc, t.obsv.ringBatch)
+		}
 		rs.ringDone = make(chan struct{})
 		go rs.drainRing()
 	}

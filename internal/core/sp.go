@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/sched"
@@ -176,6 +177,11 @@ func (rs *regionState) runSP(g, f int, sampler strategy.Sampler, body func(sp *S
 		sp.shared = rs.shared[g]
 	}
 
+	if rs.ro != nil {
+		t0 := time.Now()
+		defer rs.ro.sampleDur.ObserveSince(t0)
+	}
+
 	var err error
 	func() {
 		defer func() {
@@ -208,11 +214,20 @@ func (rs *regionState) runSP(g, f int, sampler strategy.Sampler, body func(sp *S
 func (rs *regionState) spDone(sp *SP, err error) {
 	switch {
 	case err != nil:
+		if rs.ro != nil {
+			rs.ro.failed.Inc()
+		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleFailed, Region: rs.spec.Name,
 			Sample: sp.group, Err: err.Error()})
 	case sp.pruned:
+		if rs.ro != nil {
+			rs.ro.pruned.Inc()
+		}
 		rs.t.opts.Trace.add(Event{Kind: EvSamplePruned, Region: rs.spec.Name, Sample: sp.group})
 	default:
+		if rs.ro != nil {
+			rs.ro.done.Inc()
+		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleDone, Region: rs.spec.Name,
 			Sample: sp.group, Score: sp.score})
 	}

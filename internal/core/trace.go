@@ -1,10 +1,14 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // EventKind classifies a trace event.
@@ -54,9 +58,12 @@ func (k EventKind) String() string {
 
 // Event is one observation of the runtime: which tuning process did what in
 // which region. Sample is the sample index within its round (-1 when not
-// applicable); N carries the round size for EvRoundStart.
+// applicable); N carries the round size for EvRoundStart. At is the
+// collection time in Unix nanoseconds, stamped by the runtime; events
+// constructed with a non-zero At keep it.
 type Event struct {
 	Kind   EventKind
+	At     int64
 	Region string
 	PID    int64
 	Round  int
@@ -82,6 +89,10 @@ func (tr *Trace) add(e Event) {
 		return
 	}
 	tr.mu.Lock()
+	// Stamp under the lock so collection order is also timestamp order.
+	if e.At == 0 {
+		e.At = time.Now().UnixNano()
+	}
 	tr.events = append(tr.events, e)
 	tr.mu.Unlock()
 }
@@ -95,6 +106,48 @@ func (tr *Trace) Events() []Event {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	return append([]Event(nil), tr.events...)
+}
+
+// jsonlEvent is the JSONL wire form of an Event: kind as its string name,
+// at in Unix nanoseconds, score only where it means something (sample-done
+// events with a finite score).
+type jsonlEvent struct {
+	At     int64    `json:"at"`
+	Kind   string   `json:"kind"`
+	Region string   `json:"region,omitempty"`
+	PID    int64    `json:"pid"`
+	Round  int      `json:"round"`
+	Sample int      `json:"sample"`
+	N      int      `json:"n,omitempty"`
+	Score  *float64 `json:"score,omitempty"`
+	Err    string   `json:"err,omitempty"`
+}
+
+// WriteJSONL writes every recorded event as one JSON object per line, in
+// collection order — the machine-readable export of the trace. A nil trace
+// writes nothing.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends exactly one newline per event
+	for _, e := range tr.Events() {
+		je := jsonlEvent{
+			At:     e.At,
+			Kind:   e.Kind.String(),
+			Region: e.Region,
+			PID:    e.PID,
+			Round:  e.Round,
+			Sample: e.Sample,
+			N:      e.N,
+			Err:    e.Err,
+		}
+		if e.Kind == EvSampleDone && !math.IsNaN(e.Score) && !math.IsInf(e.Score, 0) {
+			score := e.Score
+			je.Score = &score
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // regionSummary aggregates a region's events for rendering.

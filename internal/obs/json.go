@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonSeries mirrors SeriesSnapshot for machine consumption. Histogram
+// bucket bounds are strings so the implicit +Inf bucket survives JSON.
+type jsonSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"cumulative"`
+}
+
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Type   string       `json:"type"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON writes a point-in-time snapshot of every metric as one JSON
+// document: {"metrics": [{name, help, type, series: [...]}]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := r.Snapshot()
+	doc := struct {
+		Metrics []jsonFamily `json:"metrics"`
+	}{Metrics: make([]jsonFamily, 0, len(fams))}
+	for _, f := range fams {
+		jf := jsonFamily{Name: f.Name, Help: f.Help, Type: f.Kind.String()}
+		for _, s := range f.Series {
+			js := jsonSeries{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels)/2)
+				for i := 0; i+1 < len(s.Labels); i += 2 {
+					js.Labels[s.Labels[i]] = s.Labels[i+1]
+				}
+			}
+			if f.Kind == KindHistogram {
+				count, sum := s.Count, s.Sum
+				js.Count, js.Sum = &count, &sum
+				for i, c := range s.Cumulative {
+					le := "+Inf"
+					if i < len(s.Upper) {
+						le = formatValue(s.Upper[i])
+					}
+					js.Buckets = append(js.Buckets, jsonBucket{LE: le, Cumulative: c})
+				}
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		doc.Metrics = append(doc.Metrics, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "k", "v")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("c_total", "k", "v"); c2 != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	if c3 := r.Counter("c_total", "k", "w"); c3 == c {
+		t.Fatal("different labels returned the same counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+
+	// le is inclusive: a value equal to a bound lands in that bucket.
+	for _, v := range []float64{0.5, 1, 1.000001, 2, 4, 4.5, math.Inf(1)} {
+		h.Observe(v)
+	}
+	upper, cum := h.Buckets()
+	if len(upper) != 3 || len(cum) != 4 {
+		t.Fatalf("bucket shape = %d/%d, want 3/4", len(upper), len(cum))
+	}
+	// cumulative: <=1: {0.5, 1} = 2; <=2: +{1.000001, 2} = 4; <=4: +{4} = 5; +Inf: 7.
+	want := []uint64{2, 4, 5, 7}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if !math.IsInf(h.Sum(), 1) {
+		t.Fatalf("sum = %v, want +Inf", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if b := DurationBuckets(); len(b) != 12 || b[0] != 1e-6 {
+		t.Fatalf("DurationBuckets = %v", b)
+	}
+}
+
+func TestHistogramMismatchedBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched buckets did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{1, 3}, "k", "v")
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines while a
+// reader snapshots it; run with -race this is the registry's concurrency
+// contract test.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent snapshot reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			// Mix creation (lock path) and updates (atomic path).
+			c := r.Counter("work_total", "worker", string(rune('a'+w)))
+			h := r.Histogram("latency", DurationBuckets())
+			g := r.Gauge("occupancy")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	h := r.Histogram("latency", DurationBuckets())
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var total int64
+	for w := 0; w < workers; w++ {
+		total += r.Counter("work_total", "worker", string(rune('a'+w))).Value()
+	}
+	if total != workers*perWorker {
+		t.Fatalf("counter total = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("wbtuner_samples_total", "sampling processes by outcome")
+	r.Counter("wbtuner_samples_total", "region", "gaussian", "result", "done").Add(3)
+	r.Counter("wbtuner_samples_total", "region", "gaussian", "result", "pruned").Inc()
+	r.Gauge("wbtuner_sched_pool_occupancy").Set(2)
+	h := r.Histogram("wbtuner_region_duration_seconds", []float64{0.001, 0.01, 0.1}, "region", "gaussian")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP wbtuner_samples_total sampling processes by outcome
+# TYPE wbtuner_samples_total counter
+wbtuner_samples_total{region="gaussian",result="done"} 3
+wbtuner_samples_total{region="gaussian",result="pruned"} 1
+# TYPE wbtuner_sched_pool_occupancy gauge
+wbtuner_sched_pool_occupancy 2
+# TYPE wbtuner_region_duration_seconds histogram
+wbtuner_region_duration_seconds_bucket{region="gaussian",le="0.001"} 1
+wbtuner_region_duration_seconds_bucket{region="gaussian",le="0.01"} 1
+wbtuner_region_duration_seconds_bucket{region="gaussian",le="0.1"} 2
+wbtuner_region_duration_seconds_bucket{region="gaussian",le="+Inf"} 3
+wbtuner_region_duration_seconds_sum{region="gaussian"} 0.5505
+wbtuner_region_duration_seconds_count{region="gaussian"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("Prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "path", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `path="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "k", "v").Add(7)
+	h := r.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []struct {
+				Labels  map[string]string `json:"labels"`
+				Value   *float64          `json:"value"`
+				Count   *uint64           `json:"count"`
+				Buckets []struct {
+					LE         string `json:"le"`
+					Cumulative uint64 `json:"cumulative"`
+				} `json:"buckets"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(doc.Metrics))
+	}
+	c := doc.Metrics[0]
+	if c.Name != "c_total" || c.Type != "counter" || *c.Series[0].Value != 7 || c.Series[0].Labels["k"] != "v" {
+		t.Fatalf("counter snapshot wrong: %+v", c)
+	}
+	hs := doc.Metrics[1].Series[0]
+	if *hs.Count != 2 || len(hs.Buckets) != 3 || hs.Buckets[2].LE != "+Inf" || hs.Buckets[2].Cumulative != 2 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+}
+
+// The acceptance bar for the sampling hot path: instrument updates must be
+// atomic, not lock-guarded. These parallel benchmarks make contention
+// visible (a mutex-based registry collapses here).
+
+func BenchmarkCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", DurationBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-6
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.0001
+			if v > 1 {
+				v = 1e-6
+			}
+		}
+	})
+}
+
+func BenchmarkGaugeParallel(b *testing.B) {
+	r := NewRegistry()
+	g := r.Gauge("bench_gauge")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(1)
+		}
+	})
+}

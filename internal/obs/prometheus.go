@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE headers per family, one line per
+// series, histograms expanded into cumulative _bucket lines plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			var err error
+			switch f.Kind {
+			case KindHistogram:
+				err = writeHistogram(w, f.Name, s)
+			default:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.Name, labelBlock(s.Labels, "", ""), formatValue(s.Value))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s SeriesSnapshot) error {
+	for i, c := range s.Cumulative {
+		le := "+Inf"
+		if i < len(s.Upper) {
+			le = formatValue(s.Upper[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelBlock(s.Labels, "le", le), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelBlock(s.Labels, "", ""), formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelBlock(s.Labels, "", ""), s.Count)
+	return err
+}
+
+// labelBlock renders {k="v",…}, appending the extra pair (used for le)
+// last, or nothing when there are no labels at all.
+func labelBlock(labels []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

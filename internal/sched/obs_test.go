@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentWaitHistogram verifies the admission-wait wiring: immediate
+// admissions observe a zero wait, blocked admissions observe the real wait,
+// and the occupancy gauge tracks admit/release.
+func TestInstrumentWaitHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(1, false)
+	s.Instrument(reg)
+
+	s.Acquire(SpawnS, 0) // immediate: pool empty
+	waitS := reg.Histogram(MetricWaitSeconds, obs.DurationBuckets(), "kind", "sampling")
+	if got := waitS.Count(); got != 1 {
+		t.Fatalf("wait observations after immediate admit = %d, want 1", got)
+	}
+	if got := waitS.Sum(); got != 0 {
+		t.Fatalf("immediate admit observed wait %v, want 0", got)
+	}
+	if got := reg.Gauge(MetricPoolOccupancy).Value(); got != 1 {
+		t.Fatalf("occupancy = %v, want 1", got)
+	}
+
+	// Second acquire must block until the slot is released.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Acquire(SpawnS, 0)
+	}()
+	const hold = 20 * time.Millisecond
+	time.Sleep(hold)
+	s.Release()
+	wg.Wait()
+
+	if got := waitS.Count(); got != 2 {
+		t.Fatalf("wait observations = %d, want 2", got)
+	}
+	// The blocked acquire waited roughly `hold`; well above the first
+	// bucket either way.
+	if got := waitS.Sum(); got < float64(hold/4)/float64(time.Second) {
+		t.Fatalf("blocked acquire observed wait %v, want >= ~%v", got, hold/4)
+	}
+	s.Release()
+	if got := reg.Gauge(MetricPoolOccupancy).Value(); got != 0 {
+		t.Fatalf("occupancy after releases = %v, want 0", got)
+	}
+}
+
+// TestInstrumentKinds checks that tuning-process waits land in their own
+// labeled series and show up in the Prometheus exposition.
+func TestInstrumentKinds(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(4, false)
+	s.Instrument(reg)
+
+	s.Acquire(SpawnT, 0)
+	s.Acquire(SpawnS, 0)
+	s.Release()
+	s.Release()
+
+	waitT := reg.Histogram(MetricWaitSeconds, obs.DurationBuckets(), "kind", "tuning")
+	if got := waitT.Count(); got != 1 {
+		t.Fatalf("tuning wait observations = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`wbtuner_sched_wait_seconds_count{kind="sampling"} 1`,
+		`wbtuner_sched_wait_seconds_count{kind="tuning"} 1`,
+		"wbtuner_sched_pool_occupancy 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUninstrumentedSchedulerIsQuiet makes sure the default path (no
+// Instrument call) never touches instruments.
+func TestUninstrumentedSchedulerIsQuiet(t *testing.T) {
+	s := New(4, false)
+	s.Acquire(SpawnS, 0)
+	s.Acquire(SpawnT, 0)
+	s.Release()
+	s.Release()
+	if s.occupancy != nil || s.waitS != nil || s.waitT != nil {
+		t.Fatal("uninstrumented scheduler grew instruments")
+	}
+}

@@ -14,6 +14,9 @@ package sched
 import (
 	"container/heap"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Event classifies a scheduling request, mirroring Algorithm 1's SPAWN_S,
@@ -82,6 +85,12 @@ type Scheduler struct {
 	queue    waitQueue
 	stats    Stats
 	disabled bool
+
+	// Optional instruments (nil without Instrument). The gauge is updated
+	// under mu; the wait histograms are observed outside it.
+	occupancy *obs.Gauge
+	waitS     *obs.Histogram
+	waitT     *obs.Histogram
 }
 
 // New returns a scheduler with the given pool size. max must be positive.
@@ -92,6 +101,35 @@ func New(max int, disabled bool) *Scheduler {
 		panic("sched: pool size must be positive")
 	}
 	return &Scheduler{max: max, disabled: disabled}
+}
+
+// Scheduler metric names.
+const (
+	MetricWaitSeconds   = "wbtuner_sched_wait_seconds"
+	MetricPoolOccupancy = "wbtuner_sched_pool_occupancy"
+)
+
+// Instrument registers the scheduler's metrics with reg: an admission-wait
+// histogram per request kind (MetricWaitSeconds, label kind=sampling|tuning;
+// immediate admissions observe zero) and the pool-occupancy gauge
+// (MetricPoolOccupancy). Call it before the scheduler sees traffic.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	reg.SetHelp(MetricWaitSeconds, "time a spawn request waited for pool admission (Algorithm 1)")
+	reg.SetHelp(MetricPoolOccupancy, "currently admitted tuning + sampling processes")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitS = reg.Histogram(MetricWaitSeconds, obs.DurationBuckets(), "kind", "sampling")
+	s.waitT = reg.Histogram(MetricWaitSeconds, obs.DurationBuckets(), "kind", "tuning")
+	s.occupancy = reg.Gauge(MetricPoolOccupancy)
+}
+
+// waitHist returns the wait histogram for an event kind (nil when not
+// instrumented). Callers must hold s.mu.
+func (s *Scheduler) waitHist(event Event) *obs.Histogram {
+	if event == SpawnS {
+		return s.waitS
+	}
+	return s.waitT
 }
 
 // tpLimit is the occupancy a tuning process may not reach.
@@ -123,15 +161,27 @@ func (s *Scheduler) Acquire(event Event, todo int) {
 	s.mu.Lock()
 	if s.admissible(event) {
 		s.admit()
+		h := s.waitHist(event)
 		s.mu.Unlock()
+		if h != nil {
+			h.Observe(0) // immediate admission: zero wait
+		}
 		return
 	}
 	s.stats.Waited++
 	w := &waiter{event: event, todo: todo, seq: s.seq, ready: make(chan struct{})}
 	s.seq++
 	heap.Push(&s.queue, w)
+	h := s.waitHist(event)
 	s.mu.Unlock()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	<-w.ready // admit() was performed by the releasing goroutine
+	if h != nil {
+		h.ObserveSince(t0)
+	}
 }
 
 // admit marks one slot used. Callers must hold s.mu.
@@ -140,6 +190,9 @@ func (s *Scheduler) admit() {
 	s.stats.Admitted++
 	if s.inUse > s.stats.PeakInUse {
 		s.stats.PeakInUse = s.inUse
+	}
+	if s.occupancy != nil {
+		s.occupancy.Set(float64(s.inUse))
 	}
 }
 
@@ -152,6 +205,9 @@ func (s *Scheduler) Release() {
 		panic("sched: Release without matching Acquire")
 	}
 	s.inUse--
+	if s.occupancy != nil {
+		s.occupancy.Set(float64(s.inUse))
+	}
 	s.wake()
 }
 
