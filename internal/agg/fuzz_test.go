@@ -1,0 +1,100 @@
+package agg
+
+import (
+	"testing"
+)
+
+// FuzzRingDrain checks the incremental-aggregation equivalence that Sec. IV-B
+// relies on: feeding sample results through a bounded ring and draining them
+// incrementally into an aggregator yields bit-identical results to one-shot
+// aggregation over the same values — for any ring capacity, drain batching,
+// and value stream. It also checks the ring's bookkeeping: FIFO order, peak
+// occupancy never above capacity, and an empty ring after the final drain.
+func FuzzRingDrain(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 10, 20, 30, 40, 50})
+	f.Add([]byte{7, 2, 255, 0, 128, 128, 3, 3, 3, 9})
+	f.Add([]byte("incremental aggregation equivalence"))
+
+	kinds := []Kind{Min, Max, Avg, MV}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := 1
+		kind := Avg
+		if len(data) > 0 {
+			capacity = 1 + int(data[0])%8
+		}
+		if len(data) > 1 {
+			kind = kinds[int(data[1])%len(kinds)]
+		}
+		var values []float64
+		if len(data) > 2 {
+			for _, b := range data[2:] {
+				values = append(values, float64(int8(b))) // signed, repeats likely
+			}
+		}
+
+		ring := NewRing(capacity)
+		go func() {
+			for _, v := range values {
+				ring.Put(v)
+			}
+			ring.Close()
+		}()
+
+		inc, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var drained []float64
+		for items, ok := ring.WaitDrain(); ok; items, ok = ring.WaitDrain() {
+			if len(items) == 0 {
+				t.Fatal("WaitDrain returned ok with no items")
+			}
+			if len(items) > capacity {
+				t.Fatalf("drain batch %d exceeds ring capacity %d", len(items), capacity)
+			}
+			for _, it := range items {
+				inc.Add(it)
+				drained = append(drained, it.(float64))
+			}
+		}
+
+		// FIFO: the drained stream is exactly the produced stream.
+		if len(drained) != len(values) {
+			t.Fatalf("drained %d values, produced %d", len(drained), len(values))
+		}
+		for i := range values {
+			if drained[i] != values[i] {
+				t.Fatalf("FIFO violated at %d: drained %v, produced %v", i, drained[i], values[i])
+			}
+		}
+		if ring.Len() != 0 {
+			t.Fatalf("ring holds %d values after close+drain", ring.Len())
+		}
+		if p := ring.Peak(); p > capacity {
+			t.Fatalf("peak occupancy %d exceeds capacity %d", p, capacity)
+		}
+		if inc.Count() != len(values) {
+			t.Fatalf("aggregator consumed %d values, want %d", inc.Count(), len(values))
+		}
+
+		// One-shot reference: same kind, same values, same order. Incremental
+		// aggregation must be bitwise indistinguishable.
+		ref, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range values {
+			ref.Add(v)
+		}
+		got, want := inc.Result(), ref.Result()
+		if (got == nil) != (want == nil) {
+			t.Fatalf("incremental result %v, one-shot %v", got, want)
+		}
+		if got != nil && got.(float64) != want.(float64) {
+			t.Fatalf("incremental %v != one-shot %v (kind %s, cap %d, %d values)",
+				got, want, kind, capacity, len(values))
+		}
+	})
+}

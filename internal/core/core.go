@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -65,6 +66,10 @@ type Options struct {
 	// launching new sampling processes. Work units stand in for the
 	// paper's wall-clock tuning budgets.
 	Budget float64
+	// Fault configures the fault-tolerance layer: per-sample deadlines,
+	// whole-region budgets, and the retry policy. The zero value disables
+	// it (finish-or-panic semantics, as in the paper).
+	Fault FaultPolicy
 }
 
 // Metrics report what a tuning run did. All counters are cumulative over
@@ -81,6 +86,14 @@ type Metrics struct {
 	Pruned int64
 	// Panics counts sampling processes that panicked and were contained.
 	Panics int64
+	// Timeouts counts sampling processes abandoned at a deadline or budget.
+	Timeouts int64
+	// Retried counts sampling-process attempts re-run after a retryable
+	// failure (one per extra attempt, so two retries of one sample count 2).
+	Retried int64
+	// Degraded counts regions that completed with at least one timed-out or
+	// failed sample — the graceful-degradation shortfall.
+	Degraded int64
 	// Splits counts child tuning processes spawned with Split.
 	Splits int64
 	// WorkUnits is the total work executed (Work calls).
@@ -142,9 +155,20 @@ func New(opts Options) *Tuner {
 // for it and every split-off tuning process to finish. It returns the
 // joined errors of the whole process tree.
 func (t *Tuner) Run(fn func(p *P) error) error {
+	return t.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run under a caller-supplied context. Cancelling ctx cancels
+// every region budget and per-sample deadline derived from it: in-flight
+// samples are abandoned as timeouts, queued admissions unblock, and the
+// process tree drains instead of wedging. ctx == nil means Background.
+func (t *Tuner) RunContext(ctx context.Context, fn func(p *P) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t.sched.Acquire(sched.SpawnT, 0)
 	defer t.release()
-	p := t.newP()
+	p := t.newP(ctx)
 	err := fn(p)
 	return errors.Join(err, p.Wait())
 }
@@ -156,12 +180,12 @@ func (t *Tuner) release() {
 	t.sched.Release()
 }
 
-func (t *Tuner) newP() *P {
+func (t *Tuner) newP(ctx context.Context) *P {
 	t.mu.Lock()
 	t.nextPID++
 	pid := t.nextPID
 	t.mu.Unlock()
-	return &P{t: t, pid: pid}
+	return &P{t: t, pid: pid, ctx: ctx}
 }
 
 // AddWork accounts units of computation against the budget; unattributed
@@ -261,6 +285,7 @@ func mix(a, b uint64) uint64 {
 type P struct {
 	t   *Tuner
 	pid int64
+	ctx context.Context
 
 	wg      sync.WaitGroup
 	pending int64 // atomic; split children not yet finished
@@ -273,6 +298,15 @@ func (p *P) Tuner() *Tuner { return p.t }
 
 // PID returns the tuning process id (unique within the Tuner).
 func (p *P) PID() int64 { return p.pid }
+
+// Context returns the context this tuning process runs under (the RunContext
+// context, inherited across Split). Region budgets derive from it.
+func (p *P) Context() context.Context {
+	if p.ctx == nil {
+		return context.Background()
+	}
+	return p.ctx
+}
 
 // globalScope is the exposed-store scope used by the unqualified
 // Expose/Load pair.
@@ -315,7 +349,7 @@ func (p *P) Split(fn func(child *P) error) {
 		defer atomic.AddInt64(&p.pending, -1)
 		p.t.sched.Acquire(sched.SpawnT, 0)
 		defer p.t.sched.Release()
-		child := p.t.newP()
+		child := p.t.newP(p.ctx)
 		err := fn(child)
 		if werr := child.Wait(); werr != nil {
 			err = errors.Join(err, werr)

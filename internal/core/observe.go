@@ -28,6 +28,15 @@ const (
 	MetricRingOccupancy = "wbtuner_ring_occupancy"
 	// MetricRingDrainBatch observes the size of every ring drain batch.
 	MetricRingDrainBatch = "wbtuner_ring_drain_batch_size"
+	// MetricSamplesTimeout counts sampling processes abandoned at a
+	// per-sample deadline or region budget, per region.
+	MetricSamplesTimeout = "wbtuner_samples_timeout_total"
+	// MetricSamplesRetried counts sampling-process re-attempts after
+	// retryable failures, per region.
+	MetricSamplesRetried = "wbtuner_samples_retried_total"
+	// MetricRegionsDegraded counts regions that completed with at least one
+	// timed-out or failed sample, per region.
+	MetricRegionsDegraded = "wbtuner_regions_degraded_total"
 )
 
 // tunerObs caches the Tuner's instruments so the hot paths never hit the
@@ -52,6 +61,9 @@ type regionObs struct {
 	done      *obs.Counter
 	pruned    *obs.Counter
 	failed    *obs.Counter
+	timeout   *obs.Counter
+	retried   *obs.Counter
+	degraded  *obs.Counter
 }
 
 func newTunerObs(reg *obs.Registry) *tunerObs {
@@ -65,6 +77,9 @@ func newTunerObs(reg *obs.Registry) *tunerObs {
 	reg.SetHelp(MetricSplits, "child tuning processes spawned with Split")
 	reg.SetHelp(MetricRingOccupancy, "values buffered in the incremental-aggregation ring")
 	reg.SetHelp(MetricRingDrainBatch, "values folded per incremental-aggregation drain")
+	reg.SetHelp(MetricSamplesTimeout, "sampling processes abandoned at a deadline or region budget")
+	reg.SetHelp(MetricSamplesRetried, "sampling-process re-attempts after retryable failures")
+	reg.SetHelp(MetricRegionsDegraded, "regions completed with at least one timed-out or failed sample")
 	return &tunerObs{
 		reg:       reg,
 		splits:    reg.Counter(MetricSplits),
@@ -92,6 +107,9 @@ func (o *tunerObs) region(name string) *regionObs {
 		done:      o.reg.Counter(MetricSamples, "region", name, "result", "done"),
 		pruned:    o.reg.Counter(MetricSamples, "region", name, "result", "pruned"),
 		failed:    o.reg.Counter(MetricSamples, "region", name, "result", "failed"),
+		timeout:   o.reg.Counter(MetricSamplesTimeout, "region", name),
+		retried:   o.reg.Counter(MetricSamplesRetried, "region", name),
+		degraded:  o.reg.Counter(MetricRegionsDegraded, "region", name),
 	}
 	o.regions[name] = ro
 	return ro

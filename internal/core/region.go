@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -239,6 +240,16 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	t.sched.Release()
 	defer t.sched.Acquire(sched.SpawnT, 0)
 
+	// The region context carries the whole-round budget (FaultPolicy) on top
+	// of the tuning process's own context; every per-sample deadline derives
+	// from it, so cancelling either level drains the round.
+	ctx := p.Context()
+	if fp := t.opts.Fault; fp.RegionBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, fp.RegionBudget)
+		defer cancel()
+	}
+
 	k := spec.CV
 	if k < 2 {
 		k = 1
@@ -306,15 +317,31 @@ launch:
 		}
 		sampler := spec.Strategy.Sampler(rs.seed, g, n, fb)
 		for f := 0; f < k; f++ {
-			t.sched.Acquire(sched.SpawnS, n-g)
+			if err := t.sched.AcquireCtx(ctx, sched.SpawnS, n-g); err != nil {
+				// The region budget (or the caller's context) expired while
+				// this request was queued: everything not yet launched fails
+				// with the distinguished budget outcome, and the round
+				// aggregates over whatever the launched samples commit.
+				rs.mu.Lock()
+				for gg := g; gg < n; gg++ {
+					if rs.errs[gg] == nil && (gg > g || f == 0) {
+						rs.errs[gg] = fmt.Errorf("%w: %v", ErrRegionBudget, err)
+					}
+				}
+				rs.total = rs.launched
+				rs.mu.Unlock()
+				rs.barrier.maybeRelease()
+				break launch
+			}
 			rs.mu.Lock()
 			rs.launched++
 			rs.mu.Unlock()
 			wg.Add(1)
 			go func(g, f int, sampler strategy.Sampler) {
 				defer wg.Done()
-				defer t.sched.Release()
-				rs.runSP(g, f, sampler, body)
+				slot := newHeldSlot()
+				defer slot.release(t)
+				rs.runSP(ctx, g, f, slot, sampler, body)
 			}(g, f, sampler)
 		}
 	}
@@ -369,6 +396,29 @@ func (rs *regionState) finish() (*Result, error) {
 		aggregated[x] = a.Result()
 	}
 
+	// Graceful degradation: a round with timed-out or failed samples still
+	// aggregates over whatever committed; the shortfall is recorded in the
+	// degradation counter and a trace event.
+	failed, timeouts := 0, 0
+	for g := 0; g < rs.n; g++ {
+		if rs.errs[g] != nil {
+			failed++
+			if errors.Is(rs.errs[g], ErrSampleTimeout) || errors.Is(rs.errs[g], ErrRegionBudget) {
+				timeouts++
+			}
+		}
+	}
+	if failed > 0 {
+		rs.t.mu.Lock()
+		rs.t.metrics.Degraded++
+		rs.t.mu.Unlock()
+		if rs.ro != nil {
+			rs.ro.degraded.Inc()
+		}
+		rs.t.opts.Trace.add(Event{Kind: EvRegionDegraded, Region: rs.spec.Name,
+			Sample: -1, N: failed})
+	}
+
 	res := &Result{
 		n:          rs.n,
 		store:      rs.store,
@@ -378,16 +428,11 @@ func (rs *regionState) finish() (*Result, error) {
 		pruned:     rs.pruned,
 		errs:       rs.errs,
 		minimize:   rs.spec.Minimize,
+		degraded:   failed > 0,
+		timeouts:   timeouts,
 	}
 
-	allFailed := true
-	for g := 0; g < rs.n; g++ {
-		if rs.errs[g] == nil {
-			allFailed = false
-			break
-		}
-	}
-	if allFailed && rs.n > 0 {
+	if failed == rs.n && rs.n > 0 && !rs.t.opts.Fault.DegradeEmpty {
 		return res, fmt.Errorf("core: region %q: every sampling process failed: %w",
 			rs.spec.Name, errors.Join(rs.errs...))
 	}

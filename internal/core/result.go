@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 
 	"repro/internal/store"
@@ -18,6 +19,8 @@ type Result struct {
 	pruned     []bool
 	errs       []error
 	minimize   bool
+	degraded   bool
+	timeouts   int
 }
 
 // N reports the number of sample slots in the region (including pruned and
@@ -81,6 +84,19 @@ func (r *Result) Pruned(i int) bool { return r.pruned[i] }
 
 // Err returns the contained failure of sample i, if any.
 func (r *Result) Err(i int) error { return r.errs[i] }
+
+// TimedOut reports whether sample i was abandoned at a deadline or cut by
+// the region budget — the distinguished timeout outcome of the fault layer.
+func (r *Result) TimedOut(i int) bool {
+	return errors.Is(r.errs[i], ErrSampleTimeout) || errors.Is(r.errs[i], ErrRegionBudget)
+}
+
+// Degraded reports whether the region completed with at least one timed-out
+// or failed sample, i.e. the aggregate covers fewer samples than requested.
+func (r *Result) Degraded() bool { return r.degraded }
+
+// Timeouts reports how many samples ended in the timeout outcome.
+func (r *Result) Timeouts() int { return r.timeouts }
 
 // BestIndex returns the index of the best-scoring sample with respect to
 // the region's Minimize flag, or -1 when no sample was scored.

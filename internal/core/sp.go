@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dist"
@@ -15,6 +18,37 @@ import (
 // process; it never escapes the runtime.
 type prunePanic struct{}
 
+// abandonPanic is the sentinel used to unwind a sampling process whose
+// attempt the runtime abandoned at a deadline (FaultPolicy); like prunePanic
+// it never escapes the runtime.
+type abandonPanic struct{}
+
+// spSlot tracks ownership of one Algorithm 1 pool slot across the attempts
+// of one (group, fold) worker. Sync hands the slot back around the barrier,
+// and the timeout monitor releases it when abandoning a wedged attempt — the
+// CAS makes the hand-off race-free, so a slot is never released twice.
+type spSlot struct{ held atomic.Bool }
+
+func newHeldSlot() *spSlot {
+	s := &spSlot{}
+	s.held.Store(true)
+	return s
+}
+
+// release returns the slot to the pool if this call transitions it out of
+// held state; otherwise it is a no-op.
+func (s *spSlot) release(t *Tuner) {
+	if s.held.CompareAndSwap(true, false) {
+		t.sched.Release()
+	}
+}
+
+// reacquire blocks for a fresh slot and marks it held.
+func (s *spSlot) reacquire(t *Tuner) {
+	t.sched.Acquire(sched.SpawnS, 0)
+	s.held.Store(true)
+}
+
 // SP is a sampling process (mode S⟨pid⟩): one worker executing the body of
 // a sampling region with one drawn parameter configuration. An SP and
 // everything reachable only through it is confined to its goroutine.
@@ -22,8 +56,25 @@ type SP struct {
 	rs      *regionState
 	group   int
 	fold    int
+	attempt int
 	sampler strategy.Sampler
 	shared  *svgShared
+	slot    *spSlot
+	ctx     context.Context
+
+	// abandoned flips when the runtime gives up on this attempt (deadline or
+	// region budget). The body goroutine checks it at the runtime's
+	// re-entry points and unwinds via abandonPanic.
+	abandoned atomic.Bool
+	// atBarrier marks the process as blocked in a Sync rendezvous. The
+	// per-sample deadline is suspended while it is set: a barrier waiter is
+	// never the process wedging the region (the pending count releases the
+	// barrier once only waiters remain), so abandoning it would punish the
+	// victims of a hung sibling instead of the sibling.
+	atBarrier atomic.Bool
+	// resumed signals the deadline monitor that the process left a barrier
+	// and its compute-phase deadline should restart.
+	resumed chan struct{}
 
 	params  map[string]float64
 	commits map[string]any
@@ -32,9 +83,26 @@ type SP struct {
 	scored  bool
 }
 
+func (sp *SP) isAbandoned() bool { return sp.abandoned.Load() }
+
 // Index returns this sampling process's sample index within the region
 // (the SVG index under cross-validation).
 func (sp *SP) Index() int { return sp.group }
+
+// Attempt returns the 1-based attempt number of this sampling process under
+// the region's retry policy (always 1 without retries).
+func (sp *SP) Attempt() int { return sp.attempt }
+
+// Context returns this attempt's context. It carries the per-sample deadline
+// and the region budget (FaultPolicy); long-running sampler bodies should
+// select on Context().Done() so an abandoned attempt unwinds promptly
+// instead of leaking its goroutine.
+func (sp *SP) Context() context.Context {
+	if sp.ctx == nil {
+		return context.Background()
+	}
+	return sp.ctx
+}
 
 // Fold returns the cross-validation fold of this process and the total
 // fold count k. Without cross-validation it returns (0, 1).
@@ -44,6 +112,9 @@ func (sp *SP) Fold() (fold, k int) { return sp.fold, sp.rs.k }
 // the same name again returns the already-drawn value, and under
 // cross-validation all processes of one SVG share the same draw.
 func (sp *SP) Float(name string, d dist.Dist) float64 {
+	if sp.isAbandoned() {
+		panic(abandonPanic{})
+	}
 	if v, ok := sp.params[name]; ok {
 		return v
 	}
@@ -132,11 +203,33 @@ func (sp *SP) Load(name string) any { return sp.rs.t.exposed.MustGet(globalScope
 // While blocked the process gives its scheduler slot back (Algorithm 1's
 // wait() adjusts poolSize the same way), so a region larger than the pool
 // cannot deadlock on its own barrier.
+//
+// An abandoned process (FaultPolicy deadline) unwinds here instead of
+// arriving: its timeout outcome was already committed, so it no longer
+// counts toward the rendezvous.
 func (sp *SP) Sync(cb func(v *SyncView)) {
+	if sp.isAbandoned() {
+		panic(abandonPanic{})
+	}
 	t := sp.rs.t
-	t.sched.Release()
+	sp.atBarrier.Store(true)
+	sp.slot.release(t)
 	sp.rs.barrier.arrive(sp, cb)
-	t.sched.Acquire(sched.SpawnS, 0)
+	if sp.isAbandoned() {
+		panic(abandonPanic{})
+	}
+	sp.slot.reacquire(t)
+	sp.atBarrier.Store(false)
+	if sp.resumed != nil {
+		select { // coalescing signal: the monitor restarts the deadline
+		case sp.resumed <- struct{}{}:
+		default:
+		}
+	}
+	if sp.isAbandoned() {
+		sp.slot.release(t)
+		panic(abandonPanic{})
+	}
 }
 
 // svgShared holds the parameter draws shared by the k processes of one
@@ -158,20 +251,83 @@ func (s *svgShared) draw(name string, sampler strategy.Sampler, d dist.Dist) flo
 	return v
 }
 
-// runSP executes one sampling process: draw, compute, commit, score.
-func (rs *regionState) runSP(g, f int, sampler strategy.Sampler, body func(sp *SP) error) {
+// runSP executes one sampling process: draw, compute, commit, score — with
+// the region's fault policy applied around it. Retryable failures re-attempt
+// with deterministic backoff; a deadline or budget expiry abandons the
+// attempt and commits the distinguished timeout outcome. Exactly one spDone
+// is reported per (group, fold) slot regardless of attempts.
+func (rs *regionState) runSP(ctx context.Context, g, f int, slot *spSlot, sampler strategy.Sampler, body func(sp *SP) error) {
+	t := rs.t
+	fp := t.opts.Fault
+	var sp *SP
+	var err error
+	timedOut := false
+	for attempt := 1; ; attempt++ {
+		sp, err, timedOut = rs.runAttempt(ctx, g, f, attempt, slot, sampler, body)
+		if timedOut || err == nil || !IsRetryable(err) || attempt >= fp.attempts() || ctx.Err() != nil {
+			break
+		}
+		t.mu.Lock()
+		t.metrics.Retried++
+		t.mu.Unlock()
+		if rs.ro != nil {
+			rs.ro.retried.Inc()
+		}
+		t.opts.Trace.add(Event{Kind: EvSampleRetry, Region: rs.spec.Name,
+			Sample: g, Round: attempt, Err: traceErr(err)})
+		timer := time.NewTimer(fp.backoff(rs.seed, g, attempt+1))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			err = fmt.Errorf("%w during retry backoff: %v", ErrSampleTimeout, ctx.Err())
+			timedOut = true
+		}
+		if timedOut {
+			break
+		}
+	}
+	rs.spDone(sp, err, timedOut)
+}
+
+// runAttempt executes one attempt of a sampling process under its deadline.
+// The body runs in its own goroutine; the calling worker acts as the monitor
+// and, on deadline expiry, abandons the attempt — releasing the pool slot and
+// reporting a timeout — while the body goroutine unwinds on its own once it
+// observes the cancelled context (abandonPanic at the runtime re-entry
+// points, or the body returning).
+func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *spSlot,
+	sampler strategy.Sampler, body func(sp *SP) error) (*SP, error, bool) {
 	t := rs.t
 	t.mu.Lock()
 	t.metrics.Samples++
 	t.mu.Unlock()
 
+	fp := t.opts.Fault
+	sctx := ctx
+	var cancel context.CancelFunc
+	if fp.SampleTimeout > 0 {
+		// The deadline is enforced by a monitor-owned timer rather than
+		// context.WithTimeout so it can be suspended while the body waits at
+		// a Sync barrier; the cancelable context still propagates abandonment
+		// to the body via SP.Context.
+		sctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
 	sp := &SP{
 		rs:      rs,
 		group:   g,
 		fold:    f,
+		attempt: attempt,
 		sampler: sampler,
+		slot:    slot,
+		ctx:     sctx,
 		params:  make(map[string]float64),
 		commits: make(map[string]any),
+	}
+	if fp.SampleTimeout > 0 {
+		sp.resumed = make(chan struct{}, 1)
 	}
 	if rs.shared != nil {
 		sp.shared = rs.shared[g]
@@ -182,43 +338,121 @@ func (rs *regionState) runSP(g, f int, sampler strategy.Sampler, body func(sp *S
 		defer rs.ro.sampleDur.ObserveSince(t0)
 	}
 
-	var err error
-	func() {
+	done := make(chan error, 1)
+	go func() {
+		var bodyErr error
 		defer func() {
 			if r := recover(); r != nil {
-				if _, ok := r.(prunePanic); ok {
+				switch r.(type) {
+				case prunePanic:
 					sp.pruned = true
 					t.mu.Lock()
 					t.metrics.Pruned++
 					t.mu.Unlock()
+				case abandonPanic:
+					// The monitor already reported this attempt as timed
+					// out; nobody is listening for its outcome.
 					return
+				default:
+					bodyErr = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v\n%s",
+						g, f, r, debug.Stack())
+					t.mu.Lock()
+					t.metrics.Panics++
+					t.mu.Unlock()
 				}
-				err = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v", g, f, r)
-				t.mu.Lock()
-				t.metrics.Panics++
-				t.mu.Unlock()
 			}
+			done <- bodyErr
 		}()
-		err = body(sp)
-		if err == nil && rs.spec.Score != nil {
+		bodyErr = body(sp)
+		if bodyErr == nil && rs.spec.Score != nil && !sp.isAbandoned() {
 			sp.score = rs.spec.Score(sp)
 			sp.scored = true
 		}
 	}()
 
-	rs.spDone(sp, err)
+	if sctx.Done() == nil {
+		// No deadline, budget, or caller cancellation anywhere: plain
+		// synchronous wait, exactly the pre-fault-layer semantics.
+		return sp, <-done, false
+	}
+
+	abandon := func(cause error) (*SP, error, bool) {
+		// Abandon the attempt: commit the timeout outcome and release the
+		// wedged slot so Algorithm 1 admission keeps flowing. The body
+		// goroutine is not killed — it unwinds when it next touches the
+		// runtime or observes SP.Context; a body that ignores both keeps its
+		// goroutine until it returns on its own.
+		sp.abandoned.Store(true)
+		if cancel != nil {
+			cancel()
+		}
+		slot.release(t)
+		return sp, fmt.Errorf("%w: %v", ErrSampleTimeout, cause), true
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if fp.SampleTimeout > 0 {
+		timer = time.NewTimer(fp.SampleTimeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	for {
+		select {
+		case err := <-done:
+			return sp, err, false
+		case <-ctx.Done():
+			// Region budget exhausted or the caller cancelled the run: hard
+			// abandonment, barrier or not.
+			return abandon(ctx.Err())
+		case <-timerC:
+			if sp.atBarrier.Load() {
+				// The deadline covers compute phases only. A process blocked
+				// at the Sync barrier is never the one wedging the region (the
+				// pending count releases the barrier once only waiters
+				// remain), so suspend the deadline until it resumes.
+				timerC = nil
+				continue
+			}
+			return abandon(fmt.Errorf("sample deadline %v exceeded", fp.SampleTimeout))
+		case <-sp.resumed:
+			// The body left a barrier: restart the compute-phase deadline.
+			if timer != nil {
+				if timerC != nil && !timer.Stop() {
+					select { // drain a concurrently fired timer
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(fp.SampleTimeout)
+				timerC = timer.C
+			}
+		}
+	}
 }
 
 // spDone commits the finished sampling process's results into the region
 // (the parent side of rule [AGGR-S]) and advances the barrier bookkeeping.
-func (rs *regionState) spDone(sp *SP, err error) {
+// A timed-out process contributes nothing but its distinguished outcome: the
+// monitor must not read the abandoned body's mutable state, so only the
+// immutable sample index is touched on that path.
+func (rs *regionState) spDone(sp *SP, err error, timedOut bool) {
 	switch {
+	case timedOut:
+		rs.t.mu.Lock()
+		rs.t.metrics.Timeouts++
+		rs.t.mu.Unlock()
+		if rs.ro != nil {
+			rs.ro.timeout.Inc()
+		}
+		rs.t.opts.Trace.add(Event{Kind: EvSampleTimeout, Region: rs.spec.Name,
+			Sample: sp.group, Err: traceErr(err)})
 	case err != nil:
 		if rs.ro != nil {
 			rs.ro.failed.Inc()
 		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleFailed, Region: rs.spec.Name,
-			Sample: sp.group, Err: err.Error()})
+			Sample: sp.group, Err: traceErr(err)})
 	case sp.pruned:
 		if rs.ro != nil {
 			rs.ro.pruned.Inc()
@@ -318,6 +552,22 @@ func (b *barrier) maybeRelease() {
 	b.rs.mu.Unlock()
 
 	b.mu.Lock()
+	// Drop abandoned sampling processes from the rendezvous: their timeout
+	// outcome is already committed, so they no longer count toward pending.
+	// Closing their channel lets the body goroutine unwind via the
+	// abandonment check in Sync.
+	if len(b.arrived) > 0 {
+		kw, ka := b.waiters[:0], b.arrived[:0]
+		for i, sp := range b.arrived {
+			if sp.isAbandoned() {
+				close(b.waiters[i])
+				continue
+			}
+			kw = append(kw, b.waiters[i])
+			ka = append(ka, sp)
+		}
+		b.waiters, b.arrived = kw, ka
+	}
 	if len(b.waiters) == 0 || len(b.waiters) != pending {
 		b.mu.Unlock()
 		return

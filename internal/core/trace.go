@@ -32,6 +32,15 @@ const (
 	EvRegionEnd
 	// EvSplit marks a child tuning process spawned with Split.
 	EvSplit
+	// EvSampleTimeout marks a sampling process abandoned at its deadline or
+	// its region's budget (FaultPolicy) — the distinguished timeout outcome.
+	EvSampleTimeout
+	// EvSampleRetry marks one re-attempt of a sampling process after a
+	// retryable failure; Round carries the attempt number just finished.
+	EvSampleRetry
+	// EvRegionDegraded marks a region that completed with at least one
+	// timed-out or failed sample; N carries the shortfall count.
+	EvRegionDegraded
 )
 
 // String names the event kind.
@@ -51,6 +60,12 @@ func (k EventKind) String() string {
 		return "region-end"
 	case EvSplit:
 		return "split"
+	case EvSampleTimeout:
+		return "sample-timeout"
+	case EvSampleRetry:
+		return "sample-retry"
+	case EvRegionDegraded:
+		return "region-degraded"
 	default:
 		return "unknown"
 	}
@@ -73,16 +88,40 @@ type Event struct {
 	Err    string
 }
 
+// traceErr condenses an error to its first line for trace events. Full
+// errors (panic stacks in particular) carry goroutine IDs and addresses that
+// differ run to run; keeping only the stable first line is what makes a
+// seeded trace byte-identical on replay. The complete error remains
+// available on the region's Result.
+func traceErr(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // Trace collects runtime events when installed via Options.Trace. It is
 // safe for concurrent use; collection order is the runtime's completion
 // order, not sample index order.
 type Trace struct {
 	mu     sync.Mutex
 	events []Event
+	clock  func() int64 // nil means wall clock
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
+
+// SetClock installs a deterministic clock used to stamp events (e.g. a
+// logical counter for byte-identical replay exports); nil restores the wall
+// clock. The clock is called under the trace lock, so a plain closure over a
+// counter is race-free and stamps events in collection order.
+func (tr *Trace) SetClock(fn func() int64) {
+	tr.mu.Lock()
+	tr.clock = fn
+	tr.mu.Unlock()
+}
 
 func (tr *Trace) add(e Event) {
 	if tr == nil {
@@ -91,7 +130,11 @@ func (tr *Trace) add(e Event) {
 	tr.mu.Lock()
 	// Stamp under the lock so collection order is also timestamp order.
 	if e.At == 0 {
-		e.At = time.Now().UnixNano()
+		if tr.clock != nil {
+			e.At = tr.clock()
+		} else {
+			e.At = time.Now().UnixNano()
+		}
 	}
 	tr.events = append(tr.events, e)
 	tr.mu.Unlock()
@@ -152,12 +195,13 @@ func (tr *Trace) WriteJSONL(w io.Writer) error {
 
 // regionSummary aggregates a region's events for rendering.
 type regionSummary struct {
-	name    string
-	rounds  int
-	samples int
-	pruned  int
-	failed  int
-	first   int // arrival order for stable rendering
+	name     string
+	rounds   int
+	samples  int
+	pruned   int
+	failed   int
+	timeouts int
+	first    int // arrival order for stable rendering
 }
 
 // Tree renders the tuning structure the trace observed — the textual
@@ -193,6 +237,8 @@ func (tr *Trace) Tree() string {
 			rs.pruned++
 		case EvSampleFailed:
 			rs.failed++
+		case EvSampleTimeout:
+			rs.timeouts++
 		}
 	}
 	list := make([]*regionSummary, 0, len(regions))
@@ -204,8 +250,8 @@ func (tr *Trace) Tree() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tuning tree (%d splits)\n", splits)
 	for _, rs := range list {
-		fmt.Fprintf(&b, "  region %-14s rounds=%d samples=%d pruned=%d failed=%d\n",
-			rs.name, rs.rounds, rs.samples, rs.pruned, rs.failed)
+		fmt.Fprintf(&b, "  region %-14s rounds=%d samples=%d pruned=%d failed=%d timeout=%d\n",
+			rs.name, rs.rounds, rs.samples, rs.pruned, rs.failed, rs.timeouts)
 	}
 	return b.String()
 }

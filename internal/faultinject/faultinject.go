@@ -1,0 +1,198 @@
+// Package faultinject is a deterministic, seed-driven fault injector for the
+// sampling runtime's chaos tests. An Injector decides, as a pure function of
+// (seed, site), whether a sampling site experiences a delay, a hang, a panic,
+// a transient (retryable) error, or result corruption — so a fault schedule
+// replays bit-identically across runs, goroutine interleavings, and CI
+// machines. The package is dependency-free and does not import the runtime;
+// callers hook it into the sampler callback path themselves:
+//
+//	f := inj.At(regionName, sp.Index(), sp.Attempt())
+//	if err := faultinject.Apply(sp.Context(), f); err != nil {
+//		return err
+//	}
+//	v := compute()
+//	sp.Commit("v", f.CorruptFloat(v)) // no-op unless f.Kind == Corrupt
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds. None means the site executes normally.
+const (
+	None Kind = iota
+	// Delay sleeps for Fault.Delay before the body runs (slow sampler).
+	Delay
+	// Hang blocks until the site's context is cancelled (wedged sampler).
+	// A production sampler that ignores its context would hang forever; the
+	// runtime's abandonment still completes the region, but the goroutine
+	// leaks until the body returns — which is exactly what the context-aware
+	// hang models without leaking in tests.
+	Hang
+	// Panic panics at the site (crashing sampler).
+	Panic
+	// Transient returns a retryable error (flaky sampler).
+	Transient
+	// Corrupt asks the caller to corrupt its committed result via
+	// Fault.CorruptFloat (silently-wrong sampler).
+	Corrupt
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Hang:
+		return "hang"
+	case Panic:
+		return "panic"
+	case Transient:
+		return "transient"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is the decision for one site.
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration // Delay faults only
+	bits  uint64        // site entropy, drives CorruptFloat
+}
+
+// Config sets the per-site probability of each fault kind. Rates are
+// independent masses in [0, 1]; their sum must not exceed 1 (the remainder
+// is the probability of None). The zero Config injects nothing.
+type Config struct {
+	DelayRate     float64
+	HangRate      float64
+	PanicRate     float64
+	TransientRate float64
+	CorruptRate   float64
+	// MaxDelay bounds Delay faults; zero means 2ms.
+	MaxDelay time.Duration
+}
+
+func (c Config) total() float64 {
+	return c.DelayRate + c.HangRate + c.PanicRate + c.TransientRate + c.CorruptRate
+}
+
+// Injector decides faults deterministically from a seed. Safe for concurrent
+// use: it holds no mutable state.
+type Injector struct {
+	seed uint64
+	cfg  Config
+}
+
+// New returns an injector for the given seed and configuration.
+func New(seed int64, cfg Config) *Injector {
+	if t := cfg.total(); t > 1 {
+		panic(fmt.Sprintf("faultinject: fault rates sum to %v > 1", t))
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &Injector{seed: uint64(seed), cfg: cfg}
+}
+
+// mix is the SplitMix64 finalizer, the same decorrelation step the runtime
+// uses for its seeds.
+func mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15*(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// frac maps 64 bits to a uniform [0, 1) fraction with 53-bit precision.
+func frac(bits uint64) float64 { return float64(bits>>11) / float64(1<<53) }
+
+// At returns the fault for a site, a pure function of (seed, region, sample,
+// attempt): the same inputs always yield the same fault, regardless of
+// scheduling, so chaos scenarios replay identically.
+func (in *Injector) At(region string, sample, attempt int) Fault {
+	h := fnv.New64a()
+	h.Write([]byte(region))
+	site := mix(in.seed, mix(h.Sum64(), uint64(sample)<<16|uint64(attempt)))
+	u := frac(site)
+	f := Fault{bits: mix(site, 0xfa017)}
+	switch c := in.cfg; {
+	case u < c.DelayRate:
+		f.Kind = Delay
+		f.Delay = time.Duration(frac(f.bits) * float64(c.MaxDelay))
+	case u < c.DelayRate+c.HangRate:
+		f.Kind = Hang
+	case u < c.DelayRate+c.HangRate+c.PanicRate:
+		f.Kind = Panic
+	case u < c.DelayRate+c.HangRate+c.PanicRate+c.TransientRate:
+		f.Kind = Transient
+	case u < c.total():
+		f.Kind = Corrupt
+	}
+	return f
+}
+
+// TransientError is the retryable error returned by Apply for Transient
+// faults. It satisfies the runtime's retryable-error interface.
+type TransientError struct{ Site string }
+
+func (e *TransientError) Error() string   { return "faultinject: transient failure at " + e.Site }
+func (e *TransientError) Retryable() bool { return true }
+
+// InjectedPanic is the value Panic faults panic with, so tests can tell an
+// injected crash from a real one.
+type InjectedPanic struct{ Site string }
+
+func (p InjectedPanic) String() string { return "faultinject: injected panic at " + p.Site }
+
+// Apply performs the fault at a sampling site: Delay sleeps (context-aware),
+// Hang blocks until ctx is cancelled and returns its error, Panic panics
+// with an InjectedPanic, and Transient returns a *TransientError. None and
+// Corrupt return nil — corruption is applied by the caller to its own values
+// via CorruptFloat. The site string only labels errors and panics.
+func Apply(ctx context.Context, site string, f Fault) error {
+	switch f.Kind {
+	case Delay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	case Hang:
+		<-ctx.Done()
+		return ctx.Err()
+	case Panic:
+		panic(InjectedPanic{Site: site})
+	case Transient:
+		return &TransientError{Site: site}
+	default:
+		return nil
+	}
+}
+
+// CorruptFloat deterministically corrupts v for Corrupt faults and returns v
+// unchanged for every other kind. The corruption is a sign-preserving scale
+// plus offset derived from the site bits — large enough that any aggregate
+// over it is visibly wrong, small enough to stay finite.
+func (f Fault) CorruptFloat(v float64) float64 {
+	if f.Kind != Corrupt {
+		return v
+	}
+	scale := 1 + 9*frac(f.bits)          // [1, 10)
+	offset := 1e3 * frac(mix(f.bits, 1)) // [0, 1000)
+	return v*scale + offset
+}

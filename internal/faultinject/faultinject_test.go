@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func chaosCfg() Config {
+	return Config{
+		DelayRate:     0.2,
+		HangRate:      0.1,
+		PanicRate:     0.1,
+		TransientRate: 0.2,
+		CorruptRate:   0.1,
+		MaxDelay:      time.Millisecond,
+	}
+}
+
+// The injector is a pure function of (seed, site): two injectors with the
+// same seed must agree on every site, in any call order.
+func TestDeterministicAcrossInstancesAndOrder(t *testing.T) {
+	a := New(42, chaosCfg())
+	b := New(42, chaosCfg())
+	var forward []Fault
+	for s := 0; s < 64; s++ {
+		forward = append(forward, a.At("r", s, 1))
+	}
+	for s := 63; s >= 0; s-- { // reverse order on the second instance
+		if got := b.At("r", s, 1); got != forward[s] {
+			t.Fatalf("site %d: %+v != %+v", s, got, forward[s])
+		}
+	}
+}
+
+func TestSeedAndSiteChangeDecisions(t *testing.T) {
+	in := New(1, chaosCfg())
+	other := New(2, chaosCfg())
+	sameSeed, sameSite := 0, 0
+	for s := 0; s < 256; s++ {
+		if in.At("r", s, 1) != other.At("r", s, 1) {
+			sameSeed++
+		}
+		if in.At("r", s, 1) != in.At("r", s, 2) {
+			sameSite++
+		}
+	}
+	if sameSeed == 0 {
+		t.Fatal("different seeds never disagreed — seed is not mixed in")
+	}
+	if sameSite == 0 {
+		t.Fatal("different attempts never disagreed — attempt is not mixed in")
+	}
+}
+
+func TestAllKindsAppearAtConfiguredRates(t *testing.T) {
+	in := New(7, chaosCfg())
+	counts := map[Kind]int{}
+	const n = 4000
+	for s := 0; s < n; s++ {
+		counts[in.At("rates", s, 1).Kind]++
+	}
+	for _, k := range []Kind{None, Delay, Hang, Panic, Transient, Corrupt} {
+		if counts[k] == 0 {
+			t.Fatalf("kind %v never injected in %d sites: %v", k, n, counts)
+		}
+	}
+	// Coarse sanity on the largest masses (±50% relative).
+	if got, want := counts[None], int(0.3*n); got < want/2 {
+		t.Fatalf("None rate too low: %d of %d", got, n)
+	}
+	if got, want := counts[Delay]+counts[Transient], int(0.4*n); got < want/2 || got > 2*want {
+		t.Fatalf("Delay+Transient mass off: %d of %d", got, n)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(9, Config{})
+	for s := 0; s < 100; s++ {
+		if f := in.At("quiet", s, 1); f.Kind != None {
+			t.Fatalf("zero config injected %v at site %d", f.Kind, s)
+		}
+	}
+}
+
+func TestRateSumOverOneRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rates summing past 1 must panic")
+		}
+	}()
+	New(1, Config{DelayRate: 0.7, HangRate: 0.5})
+}
+
+func TestApplyDelayRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Apply(ctx, "site", Fault{Kind: Delay, Delay: time.Hour})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled delay returned %v", err)
+	}
+}
+
+func TestApplyHangUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Apply(ctx, "site", Fault{Kind: Hang})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang returned %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("hang did not unblock promptly on cancellation")
+	}
+}
+
+func TestApplyTransientIsRetryable(t *testing.T) {
+	err := Apply(context.Background(), "site", Fault{Kind: Transient})
+	var r interface{ Retryable() bool }
+	if !errors.As(err, &r) || !r.Retryable() {
+		t.Fatalf("transient fault %v is not retryable", err)
+	}
+}
+
+func TestApplyPanicIsTagged(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(InjectedPanic); !ok {
+			t.Fatal("panic fault did not panic with InjectedPanic")
+		}
+	}()
+	_ = Apply(context.Background(), "site", Fault{Kind: Panic})
+}
+
+func TestCorruptFloat(t *testing.T) {
+	in := New(3, Config{CorruptRate: 1})
+	f := in.At("c", 0, 1)
+	if f.Kind != Corrupt {
+		t.Fatalf("rate 1 produced %v", f.Kind)
+	}
+	v := f.CorruptFloat(1.5)
+	if v == 1.5 {
+		t.Fatal("corruption left the value unchanged")
+	}
+	if v != f.CorruptFloat(1.5) {
+		t.Fatal("corruption is not deterministic")
+	}
+	if clean := (Fault{Kind: None}).CorruptFloat(1.5); clean != 1.5 {
+		t.Fatalf("None corrupted the value to %v", clean)
+	}
+}

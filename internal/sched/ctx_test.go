@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireCtxAlreadyCancelled(t *testing.T) {
+	s := New(2, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AcquireCtx(ctx, SpawnS, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireCtx on cancelled ctx = %v, want Canceled", err)
+	}
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("cancelled acquire took a slot: InUse = %d", got)
+	}
+	if st := s.Stats(); st.Admitted != 0 {
+		t.Fatalf("cancelled acquire counted as admitted: %+v", st)
+	}
+}
+
+func TestAcquireCtxCancelWhileQueued(t *testing.T) {
+	s := New(1, false)
+	s.Acquire(SpawnS, 0) // fill the pool
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.AcquireCtx(ctx, SpawnS, 0) }()
+
+	// Wait until the request is actually queued, then cancel it.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Waited == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire returned %v, want Canceled", err)
+	}
+	if st := s.Stats(); st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1: %+v", st.Cancelled, st)
+	}
+
+	// The abandoned waiter must be gone from the queue: releasing the slot
+	// must leave the pool empty, not wake a ghost.
+	s.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after release, want 0", got)
+	}
+	// And the pool is still fully usable.
+	if err := s.AcquireCtx(context.Background(), SpawnS, 0); err != nil {
+		t.Fatalf("acquire after cancellation: %v", err)
+	}
+	s.Release()
+}
+
+// A cancelled waiter in the middle of the priority queue must not corrupt the
+// heap: the remaining waiters are still admitted in priority order.
+func TestAcquireCtxCancelMiddleOfQueue(t *testing.T) {
+	s := New(1, false)
+	s.Acquire(SpawnS, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type req struct {
+		todo int
+		errc chan error
+	}
+	// Three queued sampling requests with distinct todo priorities; the
+	// middle one (todo=5) gets cancelled.
+	reqs := []req{{3, make(chan error, 1)}, {5, make(chan error, 1)}, {9, make(chan error, 1)}}
+	for i, r := range reqs {
+		r := r
+		c := context.Background()
+		if i == 1 {
+			c = ctx
+		}
+		go func() { r.errc <- s.AcquireCtx(c, SpawnS, r.todo) }()
+		// Serialize queue entry so seq (FIFO tiebreak) is deterministic.
+		deadline := time.Now().Add(2 * time.Second)
+		for int(s.Stats().Waited) != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-reqs[1].errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("middle waiter returned %v, want Canceled", err)
+	}
+
+	// Release once: todo=3 must win; todo=9 keeps waiting.
+	s.Release()
+	if err := <-reqs[0].errc; err != nil {
+		t.Fatalf("todo=3 waiter: %v", err)
+	}
+	select {
+	case err := <-reqs[2].errc:
+		t.Fatalf("todo=9 admitted out of order (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	if err := <-reqs[2].errc; err != nil {
+		t.Fatalf("todo=9 waiter: %v", err)
+	}
+	s.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// Hammer the admission-wins-over-cancellation race: whatever the outcome of
+// each AcquireCtx, slots are conserved — exactly one Release per nil return
+// drains the pool to zero and the scheduler stays consistent.
+func TestAcquireCtxAdmissionCancellationRace(t *testing.T) {
+	s := New(2, false)
+	const workers = 16
+	for round := 0; round < 50; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if s.AcquireCtx(ctx, SpawnS, 0) == nil {
+					s.Release() // release immediately so cancel races admission
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%3) * 100 * time.Microsecond)
+		cancel()
+		wg.Wait()
+		if got := s.InUse(); got != 0 {
+			t.Fatalf("round %d: InUse = %d after drain, want 0", round, got)
+		}
+	}
+	st := s.Stats()
+	if st.Admitted == 0 {
+		t.Fatal("race rounds never admitted anything")
+	}
+	t.Logf("admitted=%d waited=%d cancelled=%d", st.Admitted, st.Waited, st.Cancelled)
+}

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ const tpFraction = 0.75
 type Stats struct {
 	Admitted  int64
 	Waited    int64
+	Cancelled int64 // queued requests abandoned via AcquireCtx cancellation
 	PeakInUse int
 }
 
@@ -49,6 +51,7 @@ type waiter struct {
 	todo  int
 	seq   int64
 	ready chan struct{}
+	index int // heap position; -1 once admitted or removed
 }
 
 type waitQueue []*waiter
@@ -64,13 +67,22 @@ func (q waitQueue) Less(i, j int) bool {
 	}
 	return a.seq < b.seq // FIFO among equals
 }
-func (q waitQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *waitQueue) Push(x any)   { *q = append(*q, x.(*waiter)) }
+func (q waitQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *waitQueue) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*q)
+	*q = append(*q, w)
+}
 func (q *waitQueue) Pop() any {
 	old := *q
 	n := len(old)
 	w := old[n-1]
 	old[n-1] = nil
+	w.index = -1
 	*q = old[:n-1]
 	return w
 }
@@ -158,7 +170,22 @@ func (s *Scheduler) admissible(event Event) bool {
 // and orders waiting requests (Algorithm 1). Every successful Acquire must
 // be paired with exactly one Release.
 func (s *Scheduler) Acquire(event Event, todo int) {
+	_ = s.AcquireCtx(context.Background(), event, todo) // never fails: ctx cannot be cancelled
+}
+
+// AcquireCtx is Acquire with cancellation: it returns ctx.Err() if the
+// context is cancelled while the request is still queued, in which case no
+// slot was taken and the caller must NOT Release. If cancellation races with
+// admission the admission wins (AcquireCtx returns nil and the caller owns a
+// slot), so a cancelled sampling region can never strand pool capacity —
+// Algorithm 1's admission queue stays live even when every outstanding
+// request belongs to a wedged region.
+func (s *Scheduler) AcquireCtx(ctx context.Context, event Event, todo int) error {
 	s.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	if s.admissible(event) {
 		s.admit()
 		h := s.waitHist(event)
@@ -166,7 +193,7 @@ func (s *Scheduler) Acquire(event Event, todo int) {
 		if h != nil {
 			h.Observe(0) // immediate admission: zero wait
 		}
-		return
+		return nil
 	}
 	s.stats.Waited++
 	w := &waiter{event: event, todo: todo, seq: s.seq, ready: make(chan struct{})}
@@ -178,9 +205,28 @@ func (s *Scheduler) Acquire(event Event, todo int) {
 	if h != nil {
 		t0 = time.Now()
 	}
-	<-w.ready // admit() was performed by the releasing goroutine
-	if h != nil {
-		h.ObserveSince(t0)
+	select {
+	case <-w.ready: // admit() was performed by the releasing goroutine
+		if h != nil {
+			h.ObserveSince(t0)
+		}
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.index < 0 {
+			// A releasing goroutine admitted us concurrently with the
+			// cancellation; the slot is ours and the acquire succeeds.
+			s.mu.Unlock()
+			<-w.ready
+			if h != nil {
+				h.ObserveSince(t0)
+			}
+			return nil
+		}
+		heap.Remove(&s.queue, w.index)
+		s.stats.Cancelled++
+		s.mu.Unlock()
+		return ctx.Err()
 	}
 }
 

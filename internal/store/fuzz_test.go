@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzStoreScopes drives the exposed and aggregation stores with an
+// op-stream decoded from fuzz input and checks them against naive model maps:
+// scoped exposure must isolate same-named variables across scopes, aggregate
+// commits must overwrite per (variable, index), and the derived views (Len,
+// Indices, Vec, Total, Snapshot) must stay consistent with the model.
+func FuzzStoreScopes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte("set get clear overwrite"))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01, 0xfe, 0x10, 0x20, 0x30})
+
+	scopes := []string{"global", "region", "fold", "round"}
+	names := []string{"x", "y", "acc", "x"} // duplicate name on purpose
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exposed := NewExposed()
+		aggStore := NewAgg()
+		type skey struct{ scope, name string }
+		expModel := map[skey]float64{}
+		type akey struct {
+			x string
+			i int
+		}
+		aggModel := map[akey]float64{}
+
+		val := 0.0
+		for pc := 0; pc+2 < len(data); pc += 3 {
+			op, a, b := data[pc], data[pc+1], data[pc+2]
+			scope := scopes[int(a)%len(scopes)]
+			name := names[int(b)%len(names)]
+			val++
+			switch op % 5 {
+			case 0: // expose
+				exposed.Set(scope, name, val)
+				expModel[skey{scope, name}] = val
+			case 1: // aggregate commit (index from b, variable from a)
+				x := names[int(a)%len(names)]
+				i := int(b) % 8
+				aggStore.Put(x, i, val)
+				aggModel[akey{x, i}] = val
+			case 2: // clear the aggregation store
+				aggStore.Clear()
+				aggModel = map[akey]float64{}
+			case 3: // point read of the aggregation store
+				x := names[int(a)%len(names)]
+				i := int(b) % 8
+				got, ok := aggStore.Get(x, i)
+				want, wantOK := aggModel[akey{x, i}]
+				if ok != wantOK || (ok && got.(float64) != want) {
+					t.Fatalf("Agg.Get(%q, %d) = (%v, %v), model (%v, %v)", x, i, got, ok, want, wantOK)
+				}
+			case 4: // point read of the exposed store
+				got, ok := exposed.Get(scope, name)
+				want, wantOK := expModel[skey{scope, name}]
+				if ok != wantOK || (ok && got.(float64) != want) {
+					t.Fatalf("Exposed.Get(%q, %q) = (%v, %v), model (%v, %v)", scope, name, got, ok, want, wantOK)
+				}
+			}
+		}
+
+		// Exposed store: every model entry reads back, scoping intact.
+		if exposed.Len() != len(expModel) {
+			t.Fatalf("Exposed.Len() = %d, model has %d", exposed.Len(), len(expModel))
+		}
+		for k, want := range expModel {
+			if got := exposed.MustGet(k.scope, k.name); got.(float64) != want {
+				t.Fatalf("Exposed[%s/%s] = %v, model %v", k.scope, k.name, got, want)
+			}
+			// Same name in any *other* scope must never alias this entry.
+			for _, other := range scopes {
+				if other == k.scope {
+					continue
+				}
+				if v, ok := exposed.Get(other, k.name); ok && v.(float64) == want && expModel[skey{other, k.name}] != want {
+					t.Fatalf("scope leak: %s/%s visible as %s/%s", k.scope, k.name, other, k.name)
+				}
+			}
+		}
+		if got := len(exposed.Snapshot()); got != len(expModel) {
+			t.Fatalf("Snapshot has %d entries, model %d", got, len(expModel))
+		}
+
+		// Aggregation store: totals, per-variable vectors, and index sets.
+		if aggStore.Total() != len(aggModel) {
+			t.Fatalf("Agg.Total() = %d, model has %d", aggStore.Total(), len(aggModel))
+		}
+		perVar := map[string]int{}
+		for k, want := range aggModel {
+			perVar[k.x]++
+			got, ok := aggStore.Get(k.x, k.i)
+			if !ok || got.(float64) != want {
+				t.Fatalf("Agg[%s][%d] = (%v, %v), model %v", k.x, k.i, got, ok, want)
+			}
+		}
+		for x, n := range perVar {
+			if aggStore.Len(x) != n {
+				t.Fatalf("Agg.Len(%q) = %d, model %d", x, aggStore.Len(x), n)
+			}
+			idx := aggStore.Indices(x)
+			if len(idx) != n || len(aggStore.Vec(x)) != n {
+				t.Fatalf("Indices/Vec length mismatch for %q: %d/%d, want %d",
+					x, len(idx), len(aggStore.Vec(x)), n)
+			}
+			for j := 1; j < len(idx); j++ {
+				if idx[j-1] >= idx[j] {
+					t.Fatalf("Indices(%q) not strictly sorted: %v", x, idx)
+				}
+			}
+			// Vec is ordered by index: entry j must be the model value at idx[j].
+			for j, v := range aggStore.Vec(x) {
+				if want := aggModel[akey{x, idx[j]}]; v.(float64) != want {
+					t.Fatal(fmt.Sprintf("Vec(%q)[%d] = %v, model %v at index %d", x, j, v, want, idx[j]))
+				}
+			}
+		}
+	})
+}
