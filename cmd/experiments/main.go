@@ -24,13 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
+	benchJSON := flag.String("bench-json", "", "run the hot-path microbenchmarks and write a perf report to this path (\"-\" for stdout)")
+	benchBaseline := flag.String("bench-baseline", "", "compare -bench-json results against this report; exit nonzero on >25% regression")
 	flag.Parse()
+	if *benchJSON != "" {
+		os.Exit(benchReport(*benchJSON, *benchBaseline))
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -53,6 +59,49 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] <table1|fig6|fig7|fig10|fig11|fig12|fig15|fig16|fig17|fig18|fig19|fig20|fig21|fig22|ablations|all>")
+	fmt.Fprintln(os.Stderr, "       experiments -bench-json <path> [-bench-baseline <path>]")
+}
+
+// benchReport runs the hot-path microbenchmarks, writes the perf report,
+// and (when a baseline report is given) gates on the sampling-throughput
+// regression threshold. Returns the process exit code.
+func benchReport(out, baseline string) int {
+	const tolerance = 0.25
+	results := bench.RunPerf()
+	rep := bench.PerfReport{
+		PR:         3,
+		Note:       "hot-path overhaul: interned stores, pooled SPs, batched commits, scheduler fast path",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+		Baseline:   bench.PrePRBaseline(),
+	}
+	if err := bench.WritePerfJSON(out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	compareTo := rep.Baseline
+	if baseline != "" {
+		prev, err := bench.ReadPerfJSON(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		compareTo = prev.Benchmarks
+	}
+	for _, r := range results {
+		line := fmt.Sprintf("%-22s %12.1f ns/op %8d allocs/op %10d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if r.SamplesPerSec > 0 {
+			line += fmt.Sprintf(" %12.0f samples/sec", r.SamplesPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if regressions := bench.ComparePerf(results, compareTo, tolerance); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return 1
+	}
+	return 0
 }
 
 // curveBudgets is the budget sweep used by every score-vs-budget figure.

@@ -12,6 +12,7 @@ package agg
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Kind names a built-in aggregation strategy.
@@ -288,8 +289,39 @@ type dedup struct {
 }
 
 // KeyOf is the canonical key Dedup uses for a value. Exposed so tests and
-// custom aggregators can predict dedup behaviour.
-func KeyOf(v any) string { return fmt.Sprintf("%v", v) }
+// custom aggregators can predict dedup behaviour. The common committed types
+// are formatted directly — every majority/dedup Add pays this cost, and
+// fmt's reflection path is ~10x the strconv one — with Sprintf kept as the
+// fallback so arbitrary values keep their historical keys.
+func KeyOf(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		var buf [24]byte
+		return string(strconv.AppendFloat(buf[:0], x, 'g', -1, 64))
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case bool:
+		return strconv.FormatBool(x)
+	case []float64:
+		// Match fmt's "[1 2.5 3]" rendering without reflection, in one
+		// buffer instead of one FormatFloat allocation per element.
+		buf := make([]byte, 0, 2+12*len(x))
+		buf = append(buf, '[')
+		for i, f := range x {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendFloat(buf, f, 'g', -1, 64)
+		}
+		buf = append(buf, ']')
+		return string(buf)
+	}
+	return fmt.Sprintf("%v", v)
+}
 
 func (d *dedup) Add(v any) {
 	d.n++

@@ -1,0 +1,62 @@
+package agg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKeyOfMatchesSprintf pins every fast-path branch of KeyOf to the exact
+// string fmt.Sprintf("%v") produced before, so dedup identity is unchanged.
+func TestKeyOfMatchesSprintf(t *testing.T) {
+	values := []any{
+		"plain", "", "with space",
+		0.0, 1.0, -1.5, 3.141592653589793, 1e300, 1e-300, -0.0, 2.5e-10,
+		0, 1, -42, 1 << 40,
+		int64(0), int64(-7), int64(1) << 60,
+		true, false,
+		[]float64{}, []float64{1}, []float64{1, 2.5, -3e9, 0.1},
+		// fallback types keep going through Sprintf
+		uint(7), []int{1, 2}, struct{ A int }{3}, nil,
+	}
+	for _, v := range values {
+		if got, want := KeyOf(v), fmt.Sprintf("%v", v); got != want {
+			t.Errorf("KeyOf(%#v) = %q, Sprintf %q", v, got, want)
+		}
+	}
+}
+
+// BenchmarkKeyOfScalar measures the fast path on the dominant committed type.
+func BenchmarkKeyOfScalar(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = KeyOf(3.14159)
+	}
+}
+
+// BenchmarkKeyOfScalarSprintf is the pre-fast-path cost, for comparison.
+func BenchmarkKeyOfScalarSprintf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%v", 3.14159)
+	}
+}
+
+// BenchmarkKeyOfVector measures the fast path on committed vectors.
+func BenchmarkKeyOfVector(b *testing.B) {
+	v := []float64{1, 2.5, 3e-7, 4, 5.25, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KeyOf(v)
+	}
+}
+
+// BenchmarkKeyOfVectorSprintf is the pre-fast-path vector cost.
+func BenchmarkKeyOfVectorSprintf(b *testing.B) {
+	v := []float64{1, 2.5, 3e-7, 4, 5.25, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%v", v)
+	}
+}

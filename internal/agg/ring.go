@@ -81,6 +81,42 @@ func (r *Ring) Put(v any) {
 	r.notEmpty.Signal()
 }
 
+// PutBatch appends every item in order under one lock acquisition — the
+// batch flush of a finishing sampling process, replacing one lock round-trip
+// per committed value. When the batch exceeds the free space it fills the
+// ring, waits for the consumer to drain, and continues, so a batch larger
+// than the capacity still respects the ring's memory bound. PutBatch on a
+// closed ring panics, like Put.
+func (r *Ring) PutBatch(items []any) {
+	if len(items) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(items) > 0 {
+		for r.n == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			panic("agg: Put on closed ring")
+		}
+		k := len(r.buf) - r.n
+		if k > len(items) {
+			k = len(items)
+		}
+		for i := 0; i < k; i++ {
+			r.buf[(r.head+r.n)%len(r.buf)] = items[i]
+			r.n++
+		}
+		items = items[k:]
+		if r.n > r.peak {
+			r.peak = r.n
+		}
+		r.noteOccupancy()
+		r.notEmpty.Signal()
+	}
+}
+
 // WaitDrain blocks until at least one value is buffered (returning
 // everything buffered) or the ring is closed and empty (returning nil,
 // false). It is the consumer loop of the incremental-aggregation pattern:

@@ -1,0 +1,120 @@
+package agg
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingPutBatchDeliversAll checks that concurrent batch producers and a
+// draining consumer exchange every item exactly once, per-producer order
+// preserved, with the ring's capacity bound respected throughout. Run under
+// -race this is the concurrency suite for the batched commit path.
+func TestRingPutBatchDeliversAll(t *testing.T) {
+	const (
+		producers = 4
+		batches   = 50
+		batchLen  = 7 // not a divisor of the capacity: exercises wrap+refill
+		capacity  = 8
+	)
+	r := NewRing(capacity)
+
+	type item struct{ producer, seq int }
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			seq := 0
+			for b := 0; b < batches; b++ {
+				batch := make([]any, batchLen)
+				for i := range batch {
+					batch[i] = item{p, seq}
+					seq++
+				}
+				r.PutBatch(batch)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		r.Close()
+	}()
+
+	next := make([]int, producers)
+	total := 0
+	for {
+		items, ok := r.WaitDrain()
+		if !ok {
+			break
+		}
+		if len(items) > capacity {
+			t.Fatalf("drained %d items from a ring of capacity %d", len(items), capacity)
+		}
+		for _, v := range items {
+			it := v.(item)
+			if it.seq != next[it.producer] {
+				t.Fatalf("producer %d out of order: got seq %d, want %d", it.producer, it.seq, next[it.producer])
+			}
+			next[it.producer]++
+			total++
+		}
+	}
+	if want := producers * batches * batchLen; total != want {
+		t.Fatalf("drained %d items, want %d", total, want)
+	}
+	if r.Peak() > capacity {
+		t.Fatalf("peak occupancy %d exceeded capacity %d", r.Peak(), capacity)
+	}
+}
+
+// TestRingPutBatchLargerThanCapacity pushes one batch bigger than the ring
+// and checks it streams through the bound instead of overflowing.
+func TestRingPutBatchLargerThanCapacity(t *testing.T) {
+	r := NewRing(4)
+	const n = 19
+	batch := make([]any, n)
+	for i := range batch {
+		batch[i] = i
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.PutBatch(batch)
+		r.Close()
+	}()
+	got := 0
+	for {
+		items, ok := r.WaitDrain()
+		if !ok {
+			break
+		}
+		for _, v := range items {
+			if v.(int) != got {
+				t.Fatalf("item %d out of order: %v", got, v)
+			}
+			got++
+		}
+	}
+	<-done
+	if got != n {
+		t.Fatalf("drained %d of %d", got, n)
+	}
+	if r.Peak() > 4 {
+		t.Fatalf("peak %d exceeded capacity", r.Peak())
+	}
+}
+
+// TestRingPutBatchEmptyAndClosed pins the edge semantics: an empty batch is
+// a no-op even on a closed ring; a non-empty batch on a closed ring panics
+// like Put.
+func TestRingPutBatchEmptyAndClosed(t *testing.T) {
+	r := NewRing(2)
+	r.Close()
+	r.PutBatch(nil) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutBatch on closed ring should panic")
+		}
+	}()
+	r.PutBatch([]any{1})
+}

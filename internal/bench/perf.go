@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// This file records the runtime's performance trajectory. RunPerf re-runs
+// the core hot-path microbenchmarks (the same workloads as the
+// Benchmark*SteadyState / BenchmarkSamplingHotPath benchmarks in
+// internal/core) through testing.Benchmark, so `experiments -bench-json`
+// can emit a machine-readable BENCH_<pr>.json and CI can gate on it. The
+// paper's value proposition is samples-per-budget; tuner overhead eats that
+// budget directly, so the trajectory is a first-class deliverable.
+
+// HotPathBench is the name of the sampling-throughput benchmark the CI
+// regression gate watches.
+const HotPathBench = "sampling_hot_path"
+
+// perfSamples is the per-region sample count of the throughput benchmark;
+// it matches hotPathSamples in internal/core's benchmark so the numbers are
+// comparable.
+const perfSamples = 256
+
+// PerfResult is one benchmark measurement.
+type PerfResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+}
+
+// PerfReport is the schema of BENCH_<pr>.json: the current measurements
+// plus the recorded pre-PR baseline they are compared against.
+type PerfReport struct {
+	PR         int          `json:"pr"`
+	Note       string       `json:"note"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Benchmarks []PerfResult `json:"benchmarks"`
+	Baseline   []PerfResult `json:"baseline"`
+}
+
+// PrePRBaseline is the hot-path measurement recorded on the development
+// machine (single core) immediately before the PR-3 overhaul, kept so the
+// report always carries the before/after pair.
+func PrePRBaseline() []PerfResult {
+	return []PerfResult{
+		{Name: HotPathBench, NsPerOp: 5606268, AllocsPerOp: 4923, BytesPerOp: 1789282, SamplesPerSec: 45662},
+		{Name: "float_steady_state", NsPerOp: 88.5, AllocsPerOp: 2, BytesPerOp: 32},
+		{Name: "load_steady_state", NsPerOp: 67.9, AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "commit_steady_state", NsPerOp: 88.9, AllocsPerOp: 0, BytesPerOp: 16},
+	}
+}
+
+func perfResult(name string, r testing.BenchmarkResult, samplesPerOp int) PerfResult {
+	p := PerfResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if samplesPerOp > 0 && r.T > 0 {
+		p.SamplesPerSec = float64(r.N*samplesPerOp) / r.T.Seconds()
+	}
+	return p
+}
+
+// RunPerf runs the hot-path microbenchmarks and returns their measurements.
+func RunPerf() []PerfResult {
+	d := dist.Uniform(0, 1)
+	out := []PerfResult{}
+
+	// Sampling throughput: one tight 256-sample region per op, cheap body
+	// drawing two tunables and reading one exposed input 16 times.
+	r := testing.Benchmark(func(b *testing.B) {
+		tuner := core.New(core.Options{MaxPool: runtime.NumCPU(), Seed: 1, Incremental: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		err := tuner.Run(func(p *core.P) error {
+			p.Expose("input", 0.5)
+			for i := 0; i < b.N; i++ {
+				_, err := p.Region(core.RegionSpec{
+					Name:      "hot",
+					Samples:   perfSamples,
+					Aggregate: map[string]agg.Kind{"y": agg.Avg},
+				}, func(sp *core.SP) error {
+					acc := 0.0
+					for j := 0; j < 16; j++ {
+						acc += sp.Float("alpha", d) + sp.Float("beta", d)
+						acc += sp.Load("input").(float64)
+					}
+					sp.Commit("y", acc)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	out = append(out, perfResult(HotPathBench, r, perfSamples))
+
+	// Steady-state primitives, each measured inside one sampling process.
+	steady := func(name string, setup func(p *core.P), fn func(sp *core.SP, n int)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			tuner := core.New(core.Options{MaxPool: 1, Seed: 1})
+			b.ReportAllocs()
+			err := tuner.Run(func(p *core.P) error {
+				if setup != nil {
+					setup(p)
+				}
+				_, err := p.Region(core.RegionSpec{Name: "micro", Samples: 1}, func(sp *core.SP) error {
+					b.ResetTimer()
+					fn(sp, b.N)
+					return nil
+				})
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+		out = append(out, perfResult(name, r, 0))
+	}
+	steady("float_steady_state", nil, func(sp *core.SP, n int) {
+		for i := 0; i < n; i++ {
+			_ = sp.Float("x", d)
+		}
+	})
+	steady("load_steady_state", func(p *core.P) { p.Expose("input", 1.25) }, func(sp *core.SP, n int) {
+		for i := 0; i < n; i++ {
+			_ = sp.Load("input")
+		}
+	})
+	steady("commit_steady_state", nil, func(sp *core.SP, n int) {
+		for i := 0; i < n; i++ {
+			sp.Commit("y", 2.0)
+		}
+	})
+	return out
+}
+
+// WritePerfJSON writes the report to path (or stdout when path is "-").
+func WritePerfJSON(path string, rep PerfReport) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadPerfJSON loads a previously emitted report.
+func ReadPerfJSON(path string) (PerfReport, error) {
+	var rep PerfReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(buf, &rep)
+	return rep, err
+}
+
+func findPerf(rs []PerfResult, name string) (PerfResult, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return PerfResult{}, false
+}
+
+// ComparePerf checks the sampling-throughput benchmark of cur against the
+// same benchmark in base and returns a description of every regression
+// beyond tol (0.25 = fail when >25% worse). Throughput may drop by tol;
+// allocations per op may grow by tol (allocs are machine-independent, so
+// this is the stable half of the gate).
+func ComparePerf(cur, base []PerfResult, tol float64) []string {
+	c, okC := findPerf(cur, HotPathBench)
+	b, okB := findPerf(base, HotPathBench)
+	if !okC || !okB {
+		return []string{fmt.Sprintf("benchmark %q missing from current or baseline report", HotPathBench)}
+	}
+	var regressions []string
+	if b.SamplesPerSec > 0 && c.SamplesPerSec < b.SamplesPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"%s throughput regressed: %.0f samples/sec vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+			HotPathBench, c.SamplesPerSec, b.SamplesPerSec,
+			100*(1-c.SamplesPerSec/b.SamplesPerSec), 100*tol))
+	}
+	if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"%s allocations regressed: %d allocs/op vs baseline %d (+%.0f%%, tolerance %.0f%%)",
+			HotPathBench, c.AllocsPerOp, b.AllocsPerOp,
+			100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol))
+	}
+	return regressions
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestComparePerfDetectsRegressions(t *testing.T) {
+	base := []PerfResult{{Name: HotPathBench, SamplesPerSec: 100000, AllocsPerOp: 600}}
+
+	if regs := ComparePerf([]PerfResult{{Name: HotPathBench, SamplesPerSec: 90000, AllocsPerOp: 600}}, base, 0.25); len(regs) != 0 {
+		t.Errorf("10%% slowdown within 25%% tolerance flagged: %v", regs)
+	}
+	regs := ComparePerf([]PerfResult{{Name: HotPathBench, SamplesPerSec: 70000, AllocsPerOp: 600}}, base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "throughput") {
+		t.Errorf("30%% slowdown not flagged as throughput regression: %v", regs)
+	}
+	regs = ComparePerf([]PerfResult{{Name: HotPathBench, SamplesPerSec: 100000, AllocsPerOp: 900}}, base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocations") {
+		t.Errorf("50%% alloc growth not flagged: %v", regs)
+	}
+	if regs := ComparePerf(nil, base, 0.25); len(regs) != 1 {
+		t.Errorf("missing current benchmark not flagged: %v", regs)
+	}
+}
+
+func TestPerfJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := PerfReport{
+		PR:         3,
+		Note:       "round trip",
+		GoMaxProcs: 1,
+		Benchmarks: []PerfResult{{Name: HotPathBench, NsPerOp: 1e6, AllocsPerOp: 582, BytesPerOp: 52881, SamplesPerSec: 250000}},
+		Baseline:   PrePRBaseline(),
+	}
+	if err := WritePerfJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PR != rep.PR || len(got.Benchmarks) != 1 || got.Benchmarks[0] != rep.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Baseline) != len(rep.Baseline) {
+		t.Fatalf("baseline lost in round trip: %d entries", len(got.Baseline))
+	}
+	if regs := ComparePerf(got.Benchmarks, got.Baseline, 0.25); len(regs) != 0 {
+		t.Fatalf("recorded post-PR numbers regress against the pre-PR baseline: %v", regs)
+	}
+}

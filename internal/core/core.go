@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,46 @@ type Metrics struct {
 	Scheduler sched.Stats
 }
 
+// atomicFloat accumulates a float64 with a CAS loop. Add order is whatever
+// order callers arrive in — the same serialization a mutex would give.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// counters holds the Tuner's run counters. Every field is updated atomically
+// so per-sample accounting never serializes the pool on a tuner-wide mutex.
+type counters struct {
+	regions, rounds, samples    atomic.Int64
+	pruned, panics, timeouts    atomic.Int64
+	retried, degraded, splits   atomic.Int64
+	peakRetained                atomic.Int64
+	workUnits, workSer, workPar atomicFloat
+}
+
+// regionShape is the per-region-name state the Tuner accumulates across
+// rounds: the interned symbol table for the region's variable names, the
+// recycling pool for its sampling-process structs (region bodies draw and
+// commit the same variables every round, so a pooled SP's slices are already
+// the right size), and the feedback history feedback-driven strategies read.
+// Keeping feedback here, under its own mutex, takes the per-sample feedback
+// path off any tuner-global lock.
+type regionShape struct {
+	syms *store.Symbols
+	pool sync.Pool // *SP
+
+	fbMu     sync.Mutex
+	feedback []strategy.Feedback
+}
+
 // Tuner is the white-box tuning engine. Create one per tuning task with New
 // and start the program with Run. A Tuner is safe for use by the multiple
 // tuning and sampling processes it manages.
@@ -123,11 +164,10 @@ type Tuner struct {
 	obsv    *tunerObs // nil when Options.Obs is nil
 
 	workMilli int64 // atomic; total work in 1/1024 units
+	ctr       counters
+	nextPID   atomic.Int64
 
-	mu       sync.Mutex
-	metrics  Metrics
-	feedback map[string][]strategy.Feedback
-	nextPID  int64
+	shapes sync.Map // region name -> *regionShape
 }
 
 // New returns a Tuner with the given options.
@@ -139,16 +179,24 @@ func New(opts Options) *Tuner {
 		panic("core: MaxPool must be positive")
 	}
 	t := &Tuner{
-		opts:     opts,
-		sched:    sched.New(opts.MaxPool, opts.DisableScheduler),
-		exposed:  store.NewExposed(),
-		obsv:     newTunerObs(opts.Obs),
-		feedback: make(map[string][]strategy.Feedback),
+		opts:    opts,
+		sched:   sched.New(opts.MaxPool, opts.DisableScheduler),
+		exposed: store.NewExposed(),
+		obsv:    newTunerObs(opts.Obs),
 	}
 	if opts.Obs != nil {
 		t.sched.Instrument(opts.Obs)
 	}
 	return t
+}
+
+// shape returns the per-region-name state, creating it on first use.
+func (t *Tuner) shape(name string) *regionShape {
+	if v, ok := t.shapes.Load(name); ok {
+		return v.(*regionShape)
+	}
+	v, _ := t.shapes.LoadOrStore(name, &regionShape{syms: store.NewSymbols()})
+	return v.(*regionShape)
 }
 
 // Run executes the tuning program fn as the root tuning process and waits
@@ -167,25 +215,14 @@ func (t *Tuner) RunContext(ctx context.Context, fn func(p *P) error) error {
 		ctx = context.Background()
 	}
 	t.sched.Acquire(sched.SpawnT, 0)
-	defer t.release()
+	defer t.sched.Release()
 	p := t.newP(ctx)
 	err := fn(p)
 	return errors.Join(err, p.Wait())
 }
 
-func (t *Tuner) release() {
-	t.mu.Lock()
-	t.metrics.Scheduler = t.sched.Stats()
-	t.mu.Unlock()
-	t.sched.Release()
-}
-
 func (t *Tuner) newP(ctx context.Context) *P {
-	t.mu.Lock()
-	t.nextPID++
-	pid := t.nextPID
-	t.mu.Unlock()
-	return &P{t: t, pid: pid, ctx: ctx}
+	return &P{t: t, pid: t.nextPID.Add(1), ctx: ctx}
 }
 
 // AddWork accounts units of computation against the budget; unattributed
@@ -197,14 +234,12 @@ func (t *Tuner) addWork(units float64, parallel bool) {
 		panic("core: negative work")
 	}
 	atomic.AddInt64(&t.workMilli, int64(units*1024))
-	t.mu.Lock()
-	t.metrics.WorkUnits += units
+	t.ctr.workUnits.Add(units)
 	if parallel {
-		t.metrics.WorkParallel += units
+		t.ctr.workPar.Add(units)
 	} else {
-		t.metrics.WorkSerial += units
+		t.ctr.workSer.Add(units)
 	}
-	t.mu.Unlock()
 }
 
 // WorkUsed reports the total work executed so far.
@@ -220,19 +255,31 @@ func (t *Tuner) BudgetExceeded() bool {
 
 // Metrics returns a snapshot of the run counters.
 func (t *Tuner) Metrics() Metrics {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.metrics
-	m.Scheduler = t.sched.Stats()
-	return m
+	return Metrics{
+		Regions:      t.ctr.regions.Load(),
+		Rounds:       t.ctr.rounds.Load(),
+		Samples:      t.ctr.samples.Load(),
+		Pruned:       t.ctr.pruned.Load(),
+		Panics:       t.ctr.panics.Load(),
+		Timeouts:     t.ctr.timeouts.Load(),
+		Retried:      t.ctr.retried.Load(),
+		Degraded:     t.ctr.degraded.Load(),
+		Splits:       t.ctr.splits.Load(),
+		WorkUnits:    t.ctr.workUnits.Load(),
+		WorkSerial:   t.ctr.workSer.Load(),
+		WorkParallel: t.ctr.workPar.Load(),
+		PeakRetained: t.ctr.peakRetained.Load(),
+		Scheduler:    t.sched.Stats(),
+	}
 }
 
 // feedbackFor returns a copy of the accumulated feedback for a region name,
 // sorted best-first for the given direction.
 func (t *Tuner) feedbackFor(name string, minimize bool) []strategy.Feedback {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fb := append([]strategy.Feedback(nil), t.feedback[name]...)
+	sh := t.shape(name)
+	sh.fbMu.Lock()
+	fb := append([]strategy.Feedback(nil), sh.feedback...)
+	sh.fbMu.Unlock()
 	strategy.SortBestFirst(fb, minimize)
 	return fb
 }
@@ -244,22 +291,24 @@ func (t *Tuner) addFeedback(name string, fb []strategy.Feedback, minimize bool) 
 	if len(fb) == 0 {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	all := append(t.feedback[name], fb...)
+	sh := t.shape(name)
+	sh.fbMu.Lock()
+	defer sh.fbMu.Unlock()
+	all := append(sh.feedback, fb...)
 	strategy.SortBestFirst(all, minimize)
 	if len(all) > maxFeedback {
 		all = all[:maxFeedback]
 	}
-	t.feedback[name] = all
+	sh.feedback = all
 }
 
 func (t *Tuner) notePeakRetained(v int64) {
-	t.mu.Lock()
-	if v > t.metrics.PeakRetained {
-		t.metrics.PeakRetained = v
+	for {
+		p := t.ctr.peakRetained.Load()
+		if v <= p || t.ctr.peakRetained.CompareAndSwap(p, v) {
+			return
+		}
 	}
-	t.mu.Unlock()
 }
 
 // regionSeed derives a deterministic seed for a named region round.
@@ -337,9 +386,7 @@ func (p *P) Work(units float64) { p.t.AddWork(units) }
 // sample store). Split returns immediately; Wait collects the child's
 // error.
 func (p *P) Split(fn func(child *P) error) {
-	p.t.mu.Lock()
-	p.t.metrics.Splits++
-	p.t.mu.Unlock()
+	p.t.ctr.splits.Add(1)
 	p.t.obsv.noteSplit()
 	p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
 	p.wg.Add(1)

@@ -107,9 +107,7 @@ func (p *P) Region(spec RegionSpec, body func(sp *SP) error) (*Result, error) {
 		return nil, err
 	}
 	t := p.t
-	t.mu.Lock()
-	t.metrics.Regions++
-	t.mu.Unlock()
+	t.ctr.regions.Add(1)
 	if ro := t.obsv.region(spec.Name); ro != nil {
 		t0 := time.Now()
 		defer ro.duration.ObserveSince(t0)
@@ -172,30 +170,84 @@ type regionState struct {
 	t      *Tuner
 	spec   RegionSpec
 	seed   int64
-	n      int // sample groups
-	k      int // folds per group (1 without CV)
+	n      int            // sample groups
+	k      int            // folds per group (1 without CV)
+	shape  *regionShape   // per-region-name symbols + SP pool
+	syms   *store.Symbols // == shape.syms; the region's interned names
 	store  *store.Agg
 	incs   map[string]agg.Incremental
 	shared []*svgShared // per-group shared draws under CV
 	ro     *regionObs   // nil when observability is off
 
-	mu       sync.Mutex
-	scoreSum []float64
-	scoreCnt []int
-	params   []map[string]float64
-	pruned   []bool
-	errs     []error
-	launched int
-	done     int
-	total    int // launched target; reduced if the budget cuts the round
-	barrier  *barrier
+	// Per-round launch state, fixed before the first worker starts; workers
+	// read them so launching a sample needs no closure allocation.
+	ctx  context.Context
+	body func(sp *SP) error
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	scoreSum   []float64
+	scoreCnt   []int
+	arena      []pkv  // all parameter snapshots of the round, back to back
+	spans      []span // per-group [offset, length) into arena
+	haveParams []bool
+	pruned     []bool
+	errs       []error
+	launched   int
+	done       int
+	total      int // launched target; reduced if the budget cuts the round
+	barrier    *barrier
 
 	// Incremental aggregation (Sec. IV-B): sampling processes copy their
 	// results into a bounded shared ring; the tuning-process side drains it
 	// and folds values into the aggregators, so at most ringCap values are
-	// in flight instead of one per sample.
+	// in flight instead of one per sample. When the region has exactly one
+	// incremental variable, soleInc names its aggregator and ring entries are
+	// the committed values themselves (no per-value pair allocation).
 	ring     *agg.Ring
 	ringDone chan struct{}
+	soleInc  agg.Incremental
+}
+
+// span locates one group's parameter snapshot inside the round arena.
+type span struct{ off, n int }
+
+// newSP takes a sampling-process struct from the region's shape pool (or
+// allocates the first time) and binds it to one attempt. Pooled SPs were
+// fully reset by recycleSP, and their symbol-indexed slices are already
+// sized for this region's variables from previous rounds.
+func (rs *regionState) newSP(g, f, attempt int, slot *spSlot, sampler strategy.Sampler, sctx context.Context) *SP {
+	sp, _ := rs.shape.pool.Get().(*SP)
+	if sp == nil {
+		sp = &SP{}
+	}
+	sp.rs = rs
+	sp.group, sp.fold, sp.attempt = g, f, attempt
+	sp.sampler = sampler
+	sp.slot = slot
+	sp.ctx = sctx
+	if rs.shared != nil {
+		sp.shared = rs.shared[g]
+	}
+	return sp
+}
+
+// recycleSP returns a finished sampling process to the shape pool. Never
+// call it for an abandoned SP: the abandoned body goroutine may still be
+// running and touching the struct.
+func (rs *regionState) recycleSP(sp *SP) {
+	sp.reset()
+	rs.shape.pool.Put(sp)
+}
+
+// paramMap materializes group g's parameter snapshot as a name-keyed map.
+func (rs *regionState) paramMap(g int) map[string]float64 {
+	s := rs.spans[g]
+	out := make(map[string]float64, s.n)
+	for _, kv := range rs.arena[s.off : s.off+s.n] {
+		out[rs.syms.Name(kv.id)] = kv.v
+	}
+	return out
 }
 
 // ringItem is one committed (variable, value) pair in flight.
@@ -215,6 +267,12 @@ func (rs *regionState) drainRing() {
 		if !ok {
 			return
 		}
+		if rs.soleInc != nil {
+			for _, v := range items {
+				rs.soleInc.Add(v)
+			}
+			continue
+		}
 		for _, it := range items {
 			item := it.(ringItem)
 			rs.incs[item.x].Add(item.v)
@@ -225,9 +283,7 @@ func (rs *regionState) drainRing() {
 // runRound executes one sampling round of n sample groups.
 func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*Result, error) {
 	t := p.t
-	t.mu.Lock()
-	t.metrics.Rounds++
-	t.mu.Unlock()
+	t.ctr.rounds.Add(1)
 	ro := t.obsv.region(spec.Name)
 	if ro != nil {
 		ro.rounds.Inc()
@@ -254,22 +310,28 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	if k < 2 {
 		k = 1
 	}
+	shape := t.shape(spec.Name)
 	rs := &regionState{
-		t:        t,
-		spec:     spec,
-		seed:     t.regionSeed(spec.Name, round),
-		n:        n,
-		k:        k,
-		ro:       ro,
-		store:    store.NewAgg(),
-		incs:     make(map[string]agg.Incremental),
-		scoreSum: make([]float64, n),
-		scoreCnt: make([]int, n),
-		params:   make([]map[string]float64, n),
-		pruned:   make([]bool, n),
-		errs:     make([]error, n),
-		total:    n * k,
+		t:          t,
+		spec:       spec,
+		seed:       t.regionSeed(spec.Name, round),
+		n:          n,
+		k:          k,
+		shape:      shape,
+		syms:       shape.syms,
+		ro:         ro,
+		store:      store.NewAgg(),
+		incs:       make(map[string]agg.Incremental),
+		scoreSum:   make([]float64, n),
+		scoreCnt:   make([]int, n),
+		spans:      make([]span, n),
+		haveParams: make([]bool, n),
+		pruned:     make([]bool, n),
+		errs:       make([]error, n),
+		total:      n * k,
 	}
+	rs.ctx = ctx
+	rs.body = body
 	for x, kind := range spec.Aggregate {
 		if kind == agg.Custom {
 			continue
@@ -288,6 +350,11 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	}
 	rs.barrier = newBarrier(rs)
 	if t.opts.Incremental && len(rs.incs) > 0 {
+		if len(rs.incs) == 1 {
+			for _, a := range rs.incs {
+				rs.soleInc = a
+			}
+		}
 		rs.ring = agg.NewRing(ringCap)
 		if t.obsv != nil {
 			rs.ring.Instrument(t.obsv.ringOcc, t.obsv.ringBatch)
@@ -298,7 +365,6 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 
 	fb := t.feedbackFor(spec.Name, spec.Minimize)
 
-	var wg sync.WaitGroup
 launch:
 	for g := 0; g < n; g++ {
 		// A region always launches at least one sample group, even with
@@ -336,16 +402,11 @@ launch:
 			rs.mu.Lock()
 			rs.launched++
 			rs.mu.Unlock()
-			wg.Add(1)
-			go func(g, f int, sampler strategy.Sampler) {
-				defer wg.Done()
-				slot := newHeldSlot()
-				defer slot.release(t)
-				rs.runSP(ctx, g, f, slot, sampler, body)
-			}(g, f, sampler)
+			rs.wg.Add(1)
+			go rs.worker(g, f, sampler)
 		}
 	}
-	wg.Wait()
+	rs.wg.Wait()
 	if rs.ring != nil {
 		// All producers are done: flush the ring and wait for the drain
 		// loop to fold the tail into the aggregators.
@@ -374,8 +435,8 @@ func (rs *regionState) finish() (*Result, error) {
 	// Feedback for future rounds of this region.
 	var fb []strategy.Feedback
 	for g := 0; g < rs.n; g++ {
-		if !math.IsNaN(scores[g]) && rs.params[g] != nil {
-			fb = append(fb, strategy.Feedback{Params: rs.params[g], Score: scores[g]})
+		if !math.IsNaN(scores[g]) && rs.haveParams[g] {
+			fb = append(fb, strategy.Feedback{Params: rs.paramMap(g), Score: scores[g]})
 		}
 	}
 	rs.t.addFeedback(rs.spec.Name, fb, rs.spec.Minimize)
@@ -409,9 +470,7 @@ func (rs *regionState) finish() (*Result, error) {
 		}
 	}
 	if failed > 0 {
-		rs.t.mu.Lock()
-		rs.t.metrics.Degraded++
-		rs.t.mu.Unlock()
+		rs.t.ctr.degraded.Add(1)
 		if rs.ro != nil {
 			rs.ro.degraded.Inc()
 		}
@@ -422,8 +481,11 @@ func (rs *regionState) finish() (*Result, error) {
 	res := &Result{
 		n:          rs.n,
 		store:      rs.store,
+		syms:       rs.syms,
 		aggregated: aggregated,
-		params:     rs.params,
+		arena:      rs.arena,
+		spans:      rs.spans,
+		haveParams: rs.haveParams,
 		scores:     scores,
 		pruned:     rs.pruned,
 		errs:       rs.errs,

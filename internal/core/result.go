@@ -13,8 +13,11 @@ import (
 type Result struct {
 	n          int
 	store      *store.Agg
+	syms       *store.Symbols
 	aggregated map[string]any
-	params     []map[string]float64
+	arena      []pkv  // all parameter snapshots, back to back
+	spans      []span // per-sample [offset, length) into arena
+	haveParams []bool
 	scores     []float64
 	pruned     []bool
 	errs       []error
@@ -61,12 +64,13 @@ func (r *Result) Aggregated(x string) any { return r.aggregated[x] }
 // Params returns the parameter configuration drawn by sample i, or nil if
 // the sample never completed.
 func (r *Result) Params(i int) map[string]float64 {
-	if r.params[i] == nil {
+	if !r.haveParams[i] {
 		return nil
 	}
-	out := make(map[string]float64, len(r.params[i]))
-	for k, v := range r.params[i] {
-		out[k] = v
+	s := r.spans[i]
+	out := make(map[string]float64, s.n)
+	for _, kv := range r.arena[s.off : s.off+s.n] {
+		out[r.syms.Name(kv.id)] = kv.v
 	}
 	return out
 }

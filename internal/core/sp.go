@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/strategy"
 )
 
@@ -29,8 +30,14 @@ type abandonPanic struct{}
 // CAS makes the hand-off race-free, so a slot is never released twice.
 type spSlot struct{ held atomic.Bool }
 
+// slotPool recycles pool-slot trackers across samples. A slot is only
+// returned to the pool by a worker whose sampling process was not abandoned:
+// an abandoned body goroutine may still hold a reference and race a stray
+// (harmless on its own slot, fatal on a recycled one) release CAS.
+var slotPool = sync.Pool{New: func() any { return &spSlot{} }}
+
 func newHeldSlot() *spSlot {
-	s := &spSlot{}
+	s := slotPool.Get().(*spSlot)
 	s.held.Store(true)
 	return s
 }
@@ -49,9 +56,23 @@ func (s *spSlot) reacquire(t *Tuner) {
 	s.held.Store(true)
 }
 
+// pkv is one drawn parameter in an SP's compact snapshot: the interned
+// symbol ID and the value. A snapshot is one allocation instead of a map.
+type pkv struct {
+	id uint32
+	v  float64
+}
+
 // SP is a sampling process (mode S⟨pid⟩): one worker executing the body of
 // a sampling region with one drawn parameter configuration. An SP and
 // everything reachable only through it is confined to its goroutine.
+//
+// The per-process hot state (drawn parameters, committed results, loaded
+// exposed values) is kept in slices indexed by the region's interned symbol
+// IDs, so the steady-state Float/Load/Commit paths are a lock-free table
+// lookup plus a slice access and allocate nothing. SP structs and their
+// slice storage are pooled per region shape; a recycled SP is fully reset
+// before reuse.
 type SP struct {
 	rs      *regionState
 	group   int
@@ -75,12 +96,38 @@ type SP struct {
 	// resumed signals the deadline monitor that the process left a barrier
 	// and its compute-phase deadline should restart.
 	resumed chan struct{}
+	// done carries the body goroutine's outcome to the monitor on the
+	// deadline path; it is reused across the attempts and pool reuses of
+	// this SP (an abandoned SP is never recycled, so a stale send can never
+	// reach a fresh attempt).
+	done chan error
 
-	params  map[string]float64
-	commits map[string]any
-	pruned  bool
-	score   float64
-	scored  bool
+	// Drawn parameters, indexed by symbol ID; porder records which IDs are
+	// set, for cheap reset and ordered snapshots.
+	pvals  []float64
+	pset   []bool
+	porder []uint32
+
+	// Committed sample results, indexed by symbol ID, flushed in one batch
+	// when the process finishes.
+	cvals  []any
+	cset   []bool
+	corder []uint32
+
+	// Loaded exposed values, revalidated against the exposed store's
+	// version counter so repeated Loads never touch the store's locks.
+	lvals  []any
+	lset   []bool
+	lorder []uint32
+	lver   uint64
+
+	// flush scratch, reused across pool generations.
+	kvbuf   []store.KV
+	ringbuf []any
+
+	pruned bool
+	score  float64
+	scored bool
 }
 
 func (sp *SP) isAbandoned() bool { return sp.abandoned.Load() }
@@ -115,8 +162,18 @@ func (sp *SP) Float(name string, d dist.Dist) float64 {
 	if sp.isAbandoned() {
 		panic(abandonPanic{})
 	}
-	if v, ok := sp.params[name]; ok {
-		return v
+	if id, ok := sp.rs.syms.Lookup(name); ok && int(id) < len(sp.pset) && sp.pset[id] {
+		return sp.pvals[id]
+	}
+	return sp.drawFloat(name, d)
+}
+
+// drawFloat is the first-draw path: intern the name, draw, and record.
+func (sp *SP) drawFloat(name string, d dist.Dist) float64 {
+	id := sp.rs.syms.Intern(name)
+	if n := sp.rs.syms.Len(); len(sp.pset) < n {
+		sp.pvals = append(sp.pvals, make([]float64, n-len(sp.pvals))...)
+		sp.pset = append(sp.pset, make([]bool, n-len(sp.pset))...)
 	}
 	var v float64
 	if sp.shared != nil {
@@ -124,7 +181,9 @@ func (sp *SP) Float(name string, d dist.Dist) float64 {
 	} else {
 		v = sp.sampler.Draw(name, d)
 	}
-	sp.params[name] = v
+	sp.pvals[id] = v
+	sp.pset[id] = true
+	sp.porder = append(sp.porder, id)
 	return v
 }
 
@@ -141,11 +200,21 @@ func Pick[T any](sp *SP, name string, options []T) T {
 
 // Params returns a copy of every parameter this process has drawn so far.
 func (sp *SP) Params() map[string]float64 {
-	out := make(map[string]float64, len(sp.params))
-	for k, v := range sp.params {
-		out[k] = v
+	out := make(map[string]float64, len(sp.porder))
+	for _, id := range sp.porder {
+		out[sp.rs.syms.Name(id)] = sp.pvals[id]
 	}
 	return out
+}
+
+// appendParams appends the drawn parameters to dst in draw order — the
+// region accumulates every sample's snapshot in one arena instead of one
+// slice allocation per sample.
+func (sp *SP) appendParams(dst []pkv) []pkv {
+	for _, id := range sp.porder {
+		dst = append(dst, pkv{id: id, v: sp.pvals[id]})
+	}
+	return dst
 }
 
 // Commit submits the sample result variable x (rule [AGGR-S]). The value
@@ -155,18 +224,36 @@ func (sp *SP) Params() map[string]float64 {
 // Values of type float64 and []float64 participate in the built-in
 // aggregation strategies; any type may be committed for custom aggregation.
 func (sp *SP) Commit(x string, v any) {
-	sp.commits[x] = v
+	if id, ok := sp.rs.syms.Lookup(x); ok && int(id) < len(sp.cset) && sp.cset[id] {
+		sp.cvals[id] = v
+		return
+	}
+	sp.commitSlow(x, v)
+}
+
+// commitSlow is the first-commit path for a variable.
+func (sp *SP) commitSlow(x string, v any) {
+	id := sp.rs.syms.Intern(x)
+	if n := sp.rs.syms.Len(); len(sp.cset) < n {
+		sp.cvals = append(sp.cvals, make([]any, n-len(sp.cvals))...)
+		sp.cset = append(sp.cset, make([]bool, n-len(sp.cset))...)
+	}
+	sp.cvals[id] = v
+	sp.cset[id] = true
+	sp.corder = append(sp.corder, id)
 }
 
 // Get reads back a value this process has committed; Score callbacks use it.
 func (sp *SP) Get(x string) (any, bool) {
-	v, ok := sp.commits[x]
-	return v, ok
+	if id, ok := sp.rs.syms.Lookup(x); ok && int(id) < len(sp.cset) && sp.cset[id] {
+		return sp.cvals[id], true
+	}
+	return nil, false
 }
 
 // MustGet is Get for values known to be committed; it panics otherwise.
 func (sp *SP) MustGet(x string) any {
-	v, ok := sp.commits[x]
+	v, ok := sp.Get(x)
 	if !ok {
 		panic(fmt.Sprintf("core: sample variable %q was not committed", x))
 	}
@@ -191,8 +278,73 @@ func (sp *SP) CheckFn(fn func() bool) { sp.Check(fn()) }
 func (sp *SP) Work(units float64) { sp.rs.t.addWork(units, true) }
 
 // Load reads an exposed global-scope variable from inside a sampling
-// process; the exposed store is shared with the tuning process.
-func (sp *SP) Load(name string) any { return sp.rs.t.exposed.MustGet(globalScope, name) }
+// process; the exposed store is shared with the tuning process. Loaded
+// values are cached in the process against the store's version counter, so
+// a kernel loop re-reading its inputs costs one atomic load per read
+// instead of a store lock round-trip.
+func (sp *SP) Load(name string) any {
+	e := sp.rs.t.exposed
+	if ver := e.Version(); ver != sp.lver {
+		sp.resetLoadCache()
+		sp.lver = ver
+	}
+	if id, ok := sp.rs.syms.Lookup(name); ok && int(id) < len(sp.lset) && sp.lset[id] {
+		return sp.lvals[id]
+	}
+	return sp.loadSlow(name)
+}
+
+// loadSlow is the cache-miss path: read the store and remember the value.
+func (sp *SP) loadSlow(name string) any {
+	v := sp.rs.t.exposed.MustGet(globalScope, name)
+	id := sp.rs.syms.Intern(name)
+	if n := sp.rs.syms.Len(); len(sp.lset) < n {
+		sp.lvals = append(sp.lvals, make([]any, n-len(sp.lvals))...)
+		sp.lset = append(sp.lset, make([]bool, n-len(sp.lset))...)
+	}
+	sp.lvals[id] = v
+	sp.lset[id] = true
+	sp.lorder = append(sp.lorder, id)
+	return v
+}
+
+func (sp *SP) resetLoadCache() {
+	for _, id := range sp.lorder {
+		sp.lvals[id] = nil
+		sp.lset[id] = false
+	}
+	sp.lorder = sp.lorder[:0]
+}
+
+// reset clears every per-attempt trace of a recycled SP so the pool hands
+// out indistinguishable-from-new processes.
+func (sp *SP) reset() {
+	for _, id := range sp.porder {
+		sp.pset[id] = false
+	}
+	sp.porder = sp.porder[:0]
+	for _, id := range sp.corder {
+		sp.cvals[id] = nil
+		sp.cset[id] = false
+	}
+	sp.corder = sp.corder[:0]
+	sp.resetLoadCache()
+	sp.lver = 0
+	sp.kvbuf = sp.kvbuf[:0]
+	sp.ringbuf = sp.ringbuf[:0]
+	sp.rs = nil
+	sp.sampler = nil
+	sp.shared = nil
+	sp.slot = nil
+	sp.ctx = nil
+	sp.pruned, sp.score, sp.scored = false, 0, false
+	if sp.resumed != nil {
+		select { // drop a coalesced resume token left by the previous use
+		case <-sp.resumed:
+		default:
+		}
+	}
+}
 
 // Sync blocks until every live sampling process of the region has reached
 // the barrier, runs cb once on behalf of the tuning process (rule
@@ -219,13 +371,17 @@ func (sp *SP) Sync(cb func(v *SyncView)) {
 		panic(abandonPanic{})
 	}
 	sp.slot.reacquire(t)
-	sp.atBarrier.Store(false)
 	if sp.resumed != nil {
 		select { // coalescing signal: the monitor restarts the deadline
 		case sp.resumed <- struct{}{}:
 		default:
 		}
 	}
+	// Publish the resume token before clearing atBarrier: a monitor that
+	// observes atBarrier == false at its deadline is then guaranteed to find
+	// the token and restart the deadline instead of abandoning a process
+	// that spent the elapsed time blocked at the rendezvous.
+	sp.atBarrier.Store(false)
 	if sp.isAbandoned() {
 		sp.slot.release(t)
 		panic(abandonPanic{})
@@ -251,12 +407,37 @@ func (s *svgShared) draw(name string, sampler strategy.Sampler, d dist.Dist) flo
 	return v
 }
 
+// worker is one (group, fold) sampling worker: it owns a pool slot for the
+// lifetime of the sample and recycles the slot and sampler when the sample
+// finished cleanly. It runs as a plain goroutine method so launching a
+// sample allocates no closure.
+func (rs *regionState) worker(g, f int, sampler strategy.Sampler) {
+	defer rs.wg.Done()
+	slot := newHeldSlot()
+	timedOut := rs.runSP(rs.ctx, g, f, slot, sampler, rs.body)
+	slot.release(rs.t)
+	if timedOut {
+		// The abandoned body goroutine may still reference the slot and the
+		// sampler; neither is safe to hand to another sample.
+		return
+	}
+	slotPool.Put(slot)
+	if rs.k == 1 {
+		// Sole user of the sampler (cross-validation folds share theirs and
+		// finish at different times; those samplers are not recycled).
+		if rec, ok := sampler.(strategy.Recycler); ok {
+			rec.Recycle()
+		}
+	}
+}
+
 // runSP executes one sampling process: draw, compute, commit, score — with
 // the region's fault policy applied around it. Retryable failures re-attempt
 // with deterministic backoff; a deadline or budget expiry abandons the
 // attempt and commits the distinguished timeout outcome. Exactly one spDone
-// is reported per (group, fold) slot regardless of attempts.
-func (rs *regionState) runSP(ctx context.Context, g, f int, slot *spSlot, sampler strategy.Sampler, body func(sp *SP) error) {
+// is reported per (group, fold) slot regardless of attempts. It reports
+// whether the sample ended in the abandoned/timed-out state.
+func (rs *regionState) runSP(ctx context.Context, g, f int, slot *spSlot, sampler strategy.Sampler, body func(sp *SP) error) bool {
 	t := rs.t
 	fp := t.opts.Fault
 	var sp *SP
@@ -267,14 +448,14 @@ func (rs *regionState) runSP(ctx context.Context, g, f int, slot *spSlot, sample
 		if timedOut || err == nil || !IsRetryable(err) || attempt >= fp.attempts() || ctx.Err() != nil {
 			break
 		}
-		t.mu.Lock()
-		t.metrics.Retried++
-		t.mu.Unlock()
+		t.ctr.retried.Add(1)
 		if rs.ro != nil {
 			rs.ro.retried.Inc()
 		}
 		t.opts.Trace.add(Event{Kind: EvSampleRetry, Region: rs.spec.Name,
 			Sample: g, Round: attempt, Err: traceErr(err)})
+		rs.recycleSP(sp) // the failed attempt's process is dead; reuse it
+		sp = nil
 		timer := time.NewTimer(fp.backoff(rs.seed, g, attempt+1))
 		select {
 		case <-timer.C:
@@ -284,24 +465,55 @@ func (rs *regionState) runSP(ctx context.Context, g, f int, slot *spSlot, sample
 			timedOut = true
 		}
 		if timedOut {
-			break
+			rs.spDoneTimeout(g, err)
+			return true
 		}
 	}
 	rs.spDone(sp, err, timedOut)
+	return timedOut
+}
+
+// invokeBody runs the sampling body (and the Score callback) with the
+// runtime's panic containment: Check unwinds as a prune, any other panic is
+// contained and reported as the attempt's error, and abandonPanic is
+// re-thrown for the goroutine wrapper to swallow.
+func (rs *regionState) invokeBody(sp *SP, body func(sp *SP) error) (bodyErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case prunePanic:
+				sp.pruned = true
+				rs.t.ctr.pruned.Add(1)
+			case abandonPanic:
+				panic(r)
+			default:
+				bodyErr = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v\n%s",
+					sp.group, sp.fold, r, debug.Stack())
+				rs.t.ctr.panics.Add(1)
+			}
+		}
+	}()
+	bodyErr = body(sp)
+	if bodyErr == nil && rs.spec.Score != nil && !sp.isAbandoned() {
+		sp.score = rs.spec.Score(sp)
+		sp.scored = true
+	}
+	return bodyErr
 }
 
 // runAttempt executes one attempt of a sampling process under its deadline.
-// The body runs in its own goroutine; the calling worker acts as the monitor
-// and, on deadline expiry, abandons the attempt — releasing the pool slot and
-// reporting a timeout — while the body goroutine unwinds on its own once it
-// observes the cancelled context (abandonPanic at the runtime re-entry
-// points, or the body returning).
+// Without a deadline, budget, or caller cancellation the body runs inline on
+// the worker goroutine — the pre-fault-layer semantics with no extra
+// goroutine or channel per attempt. Otherwise the body runs in its own
+// goroutine; the calling worker acts as the monitor and, on deadline expiry,
+// abandons the attempt — releasing the pool slot and reporting a timeout —
+// while the body goroutine unwinds on its own once it observes the cancelled
+// context (abandonPanic at the runtime re-entry points, or the body
+// returning).
 func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *spSlot,
 	sampler strategy.Sampler, body func(sp *SP) error) (*SP, error, bool) {
 	t := rs.t
-	t.mu.Lock()
-	t.metrics.Samples++
-	t.mu.Unlock()
+	t.ctr.samples.Add(1)
 
 	fp := t.opts.Fault
 	sctx := ctx
@@ -315,22 +527,9 @@ func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *
 		defer cancel()
 	}
 
-	sp := &SP{
-		rs:      rs,
-		group:   g,
-		fold:    f,
-		attempt: attempt,
-		sampler: sampler,
-		slot:    slot,
-		ctx:     sctx,
-		params:  make(map[string]float64),
-		commits: make(map[string]any),
-	}
-	if fp.SampleTimeout > 0 {
+	sp := rs.newSP(g, f, attempt, slot, sampler, sctx)
+	if fp.SampleTimeout > 0 && sp.resumed == nil {
 		sp.resumed = make(chan struct{}, 1)
-	}
-	if rs.shared != nil {
-		sp.shared = rs.shared[g]
 	}
 
 	if rs.ro != nil {
@@ -338,43 +537,30 @@ func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *
 		defer rs.ro.sampleDur.ObserveSince(t0)
 	}
 
-	done := make(chan error, 1)
+	if sctx.Done() == nil {
+		// No deadline, budget, or caller cancellation anywhere: run the body
+		// inline — exactly the pre-fault-layer semantics.
+		return sp, rs.invokeBody(sp, body), false
+	}
+
+	done := sp.done
+	if done == nil {
+		done = make(chan error, 1)
+		sp.done = done
+	}
 	go func() {
-		var bodyErr error
 		defer func() {
 			if r := recover(); r != nil {
-				switch r.(type) {
-				case prunePanic:
-					sp.pruned = true
-					t.mu.Lock()
-					t.metrics.Pruned++
-					t.mu.Unlock()
-				case abandonPanic:
+				if _, ok := r.(abandonPanic); ok {
 					// The monitor already reported this attempt as timed
 					// out; nobody is listening for its outcome.
 					return
-				default:
-					bodyErr = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v\n%s",
-						g, f, r, debug.Stack())
-					t.mu.Lock()
-					t.metrics.Panics++
-					t.mu.Unlock()
 				}
+				panic(r)
 			}
-			done <- bodyErr
 		}()
-		bodyErr = body(sp)
-		if bodyErr == nil && rs.spec.Score != nil && !sp.isAbandoned() {
-			sp.score = rs.spec.Score(sp)
-			sp.scored = true
-		}
+		done <- rs.invokeBody(sp, body)
 	}()
-
-	if sctx.Done() == nil {
-		// No deadline, budget, or caller cancellation anywhere: plain
-		// synchronous wait, exactly the pre-fault-layer semantics.
-		return sp, <-done, false
-	}
 
 	abandon := func(cause error) (*SP, error, bool) {
 		// Abandon the attempt: commit the timeout outcome and release the
@@ -414,6 +600,18 @@ func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *
 				timerC = nil
 				continue
 			}
+			if sp.resumed != nil {
+				select {
+				case <-sp.resumed:
+					// The process left a barrier concurrently with the
+					// deadline firing: the elapsed time was spent waiting,
+					// not computing, so restart the deadline.
+					timer.Reset(fp.SampleTimeout)
+					timerC = timer.C
+					continue
+				default:
+				}
+			}
 			return abandon(fmt.Errorf("sample deadline %v exceeded", fp.SampleTimeout))
 		case <-sp.resumed:
 			// The body left a barrier: restart the compute-phase deadline.
@@ -431,42 +629,107 @@ func (rs *regionState) runAttempt(ctx context.Context, g, f, attempt int, slot *
 	}
 }
 
-// spDone commits the finished sampling process's results into the region
-// (the parent side of rule [AGGR-S]) and advances the barrier bookkeeping.
-// A timed-out process contributes nothing but its distinguished outcome: the
-// monitor must not read the abandoned body's mutable state, so only the
-// immutable sample index is touched on that path.
-func (rs *regionState) spDone(sp *SP, err error, timedOut bool) {
+// noteOutcome records the per-outcome counters and trace events of one
+// finished (group, fold) slot.
+func (rs *regionState) noteOutcome(g int, err error, timedOut, pruned bool, score float64) {
 	switch {
 	case timedOut:
-		rs.t.mu.Lock()
-		rs.t.metrics.Timeouts++
-		rs.t.mu.Unlock()
+		rs.t.ctr.timeouts.Add(1)
 		if rs.ro != nil {
 			rs.ro.timeout.Inc()
 		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleTimeout, Region: rs.spec.Name,
-			Sample: sp.group, Err: traceErr(err)})
+			Sample: g, Err: traceErr(err)})
 	case err != nil:
 		if rs.ro != nil {
 			rs.ro.failed.Inc()
 		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleFailed, Region: rs.spec.Name,
-			Sample: sp.group, Err: traceErr(err)})
-	case sp.pruned:
+			Sample: g, Err: traceErr(err)})
+	case pruned:
 		if rs.ro != nil {
 			rs.ro.pruned.Inc()
 		}
-		rs.t.opts.Trace.add(Event{Kind: EvSamplePruned, Region: rs.spec.Name, Sample: sp.group})
+		rs.t.opts.Trace.add(Event{Kind: EvSamplePruned, Region: rs.spec.Name, Sample: g})
 	default:
 		if rs.ro != nil {
 			rs.ro.done.Inc()
 		}
 		rs.t.opts.Trace.add(Event{Kind: EvSampleDone, Region: rs.spec.Name,
-			Sample: sp.group, Score: sp.score})
+			Sample: g, Score: score})
 	}
+}
+
+// spDoneTimeout finishes a (group, fold) slot whose retry backoff was cut
+// short by cancellation: there is no live SP to read, only the outcome.
+func (rs *regionState) spDoneTimeout(g int, err error) {
+	rs.noteOutcome(g, err, true, false, 0)
 	rs.mu.Lock()
+	if rs.errs[g] == nil {
+		rs.errs[g] = err
+	}
+	rs.done++
+	rs.mu.Unlock()
+	rs.barrier.maybeRelease()
+}
+
+// spDone commits the finished sampling process's results into the region
+// (the parent side of rule [AGGR-S]) and advances the barrier bookkeeping.
+// A timed-out process contributes nothing but its distinguished outcome: the
+// monitor must not read the abandoned body's mutable state, so only the
+// immutable sample index is touched on that path — and the SP itself is
+// never recycled, since the abandoned body goroutine may still be running.
+//
+// A successful process's commits are flushed in batches: one ring batch for
+// incrementally aggregated variables (one lock round-trip instead of one per
+// value) and one store batch for the rest.
+func (rs *regionState) spDone(sp *SP, err error, timedOut bool) {
 	g := sp.group
+	if timedOut {
+		rs.noteOutcome(g, err, true, false, 0)
+		rs.mu.Lock()
+		if rs.errs[g] == nil {
+			rs.errs[g] = err
+		}
+		rs.done++
+		rs.mu.Unlock()
+		rs.barrier.maybeRelease()
+		return
+	}
+	rs.noteOutcome(g, err, false, sp.pruned, sp.score)
+
+	ok := err == nil && !sp.pruned
+	if ok && sp.fold == 0 {
+		// Partition this process's commits into the ring batch (incremental
+		// variables with a live ring) and the store batch (everything else),
+		// in commit order.
+		for _, id := range sp.corder {
+			x := rs.syms.Name(id)
+			v := sp.cvals[id]
+			if _, inc := rs.incs[x]; inc && rs.ring != nil {
+				// Incremental path: hand the value to the tuning process
+				// through the bounded ring and do not retain it. With a
+				// single incremental variable the name is implied, so the
+				// committed value rides the ring as-is (it is already boxed);
+				// only multi-variable regions pay a (name, value) pair.
+				if rs.soleInc != nil {
+					sp.ringbuf = append(sp.ringbuf, v)
+				} else {
+					sp.ringbuf = append(sp.ringbuf, ringItem{x: x, v: v})
+				}
+				continue
+			}
+			sp.kvbuf = append(sp.kvbuf, store.KV{X: x, V: v})
+		}
+		if len(sp.ringbuf) > 0 {
+			// Flushed outside rs.mu: the ring applies backpressure when the
+			// drain loop falls behind, and blocking under the region lock
+			// would stall every other finishing process.
+			rs.ring.PutBatch(sp.ringbuf)
+		}
+	}
+
+	rs.mu.Lock()
 	switch {
 	case err != nil:
 		if rs.errs[g] == nil {
@@ -475,22 +738,17 @@ func (rs *regionState) spDone(sp *SP, err error, timedOut bool) {
 	case sp.pruned:
 		rs.pruned[g] = true
 	default:
-		if rs.params[g] == nil {
-			rs.params[g] = sp.Params()
+		if !rs.haveParams[g] {
+			rs.haveParams[g] = true
+			off := len(rs.arena)
+			rs.arena = sp.appendParams(rs.arena)
+			rs.spans[g] = span{off, len(rs.arena) - off}
 		}
 		if sp.fold == 0 {
-			for x, v := range sp.commits {
-				if _, ok := rs.incs[x]; ok {
-					if rs.ring != nil {
-						// Incremental path: hand the value to the tuning
-						// process through the bounded ring and do not
-						// retain it.
-						rs.ring.Put(ringItem{x: x, v: v})
-						continue
-					}
-					rs.incs[x].Add(v)
+			for _, kv := range sp.kvbuf {
+				if a, inc := rs.incs[kv.X]; inc {
+					a.Add(kv.V)
 				}
-				rs.store.Put(x, g, v)
 			}
 		}
 		if sp.scored {
@@ -500,7 +758,11 @@ func (rs *regionState) spDone(sp *SP, err error, timedOut bool) {
 	}
 	rs.done++
 	rs.mu.Unlock()
+	if ok && sp.fold == 0 && len(sp.kvbuf) > 0 {
+		rs.store.PutBatch(g, sp.kvbuf)
+	}
 	rs.barrier.maybeRelease()
+	rs.recycleSP(sp)
 }
 
 // SyncView is what a barrier callback sees: the sampling processes blocked

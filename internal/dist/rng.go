@@ -1,6 +1,9 @@
 package dist
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // NewRand returns a deterministic *rand.Rand derived from a base seed and a
 // stream index. Different streams are decorrelated by mixing the index with
@@ -9,12 +12,31 @@ import "math/rand"
 // being returned: the first outputs of math/rand's seeded source are
 // noticeably correlated across seeds, which would skew the very first
 // parameter draw of every sampling process in a region.
+//
+// Seeding math/rand's lagged-Fibonacci source costs ~1800 multiplicative
+// steps and a 4.9 KB state allocation — by far the dominant cost of spawning
+// a sampling process, dwarfing the handful of draws a typical region body
+// makes. Tuning runs re-derive the same (region seed, stream) pairs on every
+// round, so NewRand seeds each mixed key once, records the stream prefix,
+// and hands out lightweight replaying sources with bit-identical output.
 func NewRand(seed int64, stream int64) *rand.Rand {
-	r := rand.New(rand.NewSource(int64(Mix(uint64(seed), uint64(stream)))))
+	mixed := int64(Mix(uint64(seed), uint64(stream)))
+	r := rand.New(&replaySource{out: seedCache.get(mixed)})
 	for i := 0; i < 4; i++ {
 		r.Int63()
 	}
 	return r
+}
+
+// Reseed restarts r — which must have been created by NewRand — onto the
+// (seed, stream) pair, with output bit-identical to a fresh
+// NewRand(seed, stream). It lets callers pool generators across sampling
+// processes instead of allocating a source and generator per process.
+func Reseed(r *rand.Rand, seed, stream int64) {
+	r.Seed(int64(Mix(uint64(seed), uint64(stream))))
+	for i := 0; i < 4; i++ {
+		r.Int63()
+	}
 }
 
 // Mix combines two 64-bit values into a well-distributed 64-bit value using
@@ -25,4 +47,128 @@ func Mix(a, b uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// math/rand's generator is the additive lagged-Fibonacci recurrence
+// x_i = x_{i-lfgTap} + x_{i-lfgLen} over int64, with a state vector of
+// lfgLen words. Each output is also the new value of the state slot it
+// updated, so the first lfgLen outputs of a freshly seeded source are a
+// complete snapshot of its state once they have all been emitted.
+const (
+	lfgLen = 607
+	lfgTap = 273
+)
+
+// seededPrefix records the first lfgLen outputs of a freshly seeded
+// math/rand source for one mixed seed. It is immutable once published.
+type seededPrefix [lfgLen]uint64
+
+// recordPrefix seeds a stdlib source (paying the full seeding cost once)
+// and captures its output prefix.
+func recordPrefix(seed int64) *seededPrefix {
+	src := rand.NewSource(seed).(rand.Source64)
+	var out seededPrefix
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return &out
+}
+
+// prefixCache caches seeded prefixes by mixed seed. A concurrent first fill
+// of the same key seeds twice and keeps one copy — both are identical, so
+// the race is benign. When the cache hits its bound it is dropped wholesale
+// (the next round re-records its working set), keeping the footprint at
+// most prefixCacheLimit entries of ~4.9 KB each.
+type prefixCache struct {
+	mu sync.RWMutex
+	m  map[int64]*seededPrefix
+}
+
+const prefixCacheLimit = 1 << 10
+
+var seedCache = prefixCache{m: make(map[int64]*seededPrefix)}
+
+func (c *prefixCache) get(seed int64) *seededPrefix {
+	c.mu.RLock()
+	out, ok := c.m[seed]
+	c.mu.RUnlock()
+	if ok {
+		return out
+	}
+	out = recordPrefix(seed)
+	c.mu.Lock()
+	if len(c.m) >= prefixCacheLimit {
+		c.m = make(map[int64]*seededPrefix, prefixCacheLimit/4)
+	}
+	c.m[seed] = out
+	c.mu.Unlock()
+	return out
+}
+
+// replaySource is a rand.Source64 that serves the recorded prefix of a
+// seeded stdlib source and then continues the stream with the same
+// lagged-Fibonacci recurrence, so Int63/Uint64 sequences are bit-identical
+// to rand.NewSource(seed) at a tiny fraction of the setup cost. The state
+// vector is only materialized if a consumer draws past the prefix, which
+// sampling processes (a handful of draws each) essentially never do.
+type replaySource struct {
+	pos int
+	out *seededPrefix
+	lfg *lfgState
+}
+
+type lfgState struct {
+	tap, feed int
+	vec       [lfgLen]int64
+}
+
+func (s *replaySource) Uint64() uint64 {
+	if s.pos < lfgLen {
+		v := s.out[s.pos]
+		s.pos++
+		return v
+	}
+	if s.lfg == nil {
+		s.lfg = materialize(s.out)
+	}
+	l := s.lfg
+	l.tap--
+	if l.tap < 0 {
+		l.tap += lfgLen
+	}
+	l.feed--
+	if l.feed < 0 {
+		l.feed += lfgLen
+	}
+	x := l.vec[l.feed] + l.vec[l.tap]
+	l.vec[l.feed] = x
+	return uint64(x)
+}
+
+func (s *replaySource) Int63() int64 { return int64(s.Uint64() &^ (1 << 63)) }
+
+// Seed restarts the source on a freshly seeded stream for the given seed,
+// matching rand.Source.Seed semantics.
+func (s *replaySource) Seed(seed int64) {
+	s.pos = 0
+	s.out = seedCache.get(seed)
+	s.lfg = nil
+}
+
+// materialize reconstructs the generator state that follows the recorded
+// prefix. The stdlib source starts at tap=0, feed=lfgLen-lfgTap and
+// decrements both (mod lfgLen) before every output, so output j (0-based)
+// overwrote slot (lfgLen-lfgTap-1-j) mod lfgLen; after lfgLen outputs both
+// cursors are back at their starting positions and every slot holds one
+// recorded output.
+func materialize(out *seededPrefix) *lfgState {
+	l := &lfgState{tap: 0, feed: lfgLen - lfgTap}
+	for f := 0; f < lfgLen; f++ {
+		j := lfgLen - lfgTap - 1 - f
+		if j < 0 {
+			j += lfgLen
+		}
+		l.vec[f] = int64(out[j])
+	}
+	return l
 }

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// stdlibRand is the pre-cache implementation of NewRand: a freshly seeded
+// stdlib source with the same mixing and warm-up. The replaying sources must
+// be indistinguishable from it.
+func stdlibRand(seed, stream int64) *rand.Rand {
+	r := rand.New(rand.NewSource(int64(Mix(uint64(seed), uint64(stream)))))
+	for i := 0; i < 4; i++ {
+		r.Int63()
+	}
+	return r
+}
+
+// TestNewRandMatchesStdlib drives NewRand far past the recorded prefix with
+// a mix of every draw kind the runtime uses and requires bit-identical
+// output to a freshly seeded stdlib generator.
+func TestNewRandMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40} {
+		for _, stream := range []int64{0, 1, 7, 255} {
+			got := NewRand(seed, stream)
+			want := stdlibRand(seed, stream)
+			for i := 0; i < 3*lfgLen; i++ {
+				switch i % 5 {
+				case 0:
+					g, w := got.Int63(), want.Int63()
+					if g != w {
+						t.Fatalf("seed %d stream %d draw %d: Int63 %d != %d", seed, stream, i, g, w)
+					}
+				case 1:
+					g, w := got.Float64(), want.Float64()
+					if g != w {
+						t.Fatalf("seed %d stream %d draw %d: Float64 %v != %v", seed, stream, i, g, w)
+					}
+				case 2:
+					g, w := got.Uint64(), want.Uint64()
+					if g != w {
+						t.Fatalf("seed %d stream %d draw %d: Uint64 %d != %d", seed, stream, i, g, w)
+					}
+				case 3:
+					g, w := got.Intn(1000), want.Intn(1000)
+					if g != w {
+						t.Fatalf("seed %d stream %d draw %d: Intn %d != %d", seed, stream, i, g, w)
+					}
+				case 4:
+					g, w := got.NormFloat64(), want.NormFloat64()
+					if g != w {
+						t.Fatalf("seed %d stream %d draw %d: NormFloat64 %v != %v", seed, stream, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplaySourceSeed checks that re-seeding a replaying source restarts it
+// on the right stream, as rand.Source.Seed requires.
+func TestReplaySourceSeed(t *testing.T) {
+	src := &replaySource{out: seedCache.get(99)}
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = src.Uint64()
+	}
+	src.Seed(123)
+	want := rand.NewSource(123).(rand.Source64)
+	for i := 0; i < 2*lfgLen; i++ {
+		if g, w := src.Uint64(), want.Uint64(); g != w {
+			t.Fatalf("after Seed(123), draw %d: %d != %d", i, g, w)
+		}
+	}
+	src.Seed(99)
+	for i := range first {
+		if g := src.Uint64(); g != first[i] {
+			t.Fatalf("after Seed(99), draw %d: %d != %d", i, g, first[i])
+		}
+	}
+}
+
+// TestPrefixCacheConcurrent hammers one cache key from many goroutines; the
+// race detector checks the synchronization and every caller must read the
+// same stream.
+func TestPrefixCacheConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	want := stdlibRand(7, 3)
+	wantVals := make([]int64, 64)
+	for i := range wantVals {
+		wantVals[i] = want.Int63()
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				r := NewRand(7, 3)
+				for i, w := range wantVals {
+					if v := r.Int63(); v != w {
+						t.Errorf("draw %d: %d != %d", i, v, w)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPrefixCacheBounded fills the cache past its limit and checks it resets
+// instead of growing without bound, and that streams stay correct after the
+// reset.
+func TestPrefixCacheBounded(t *testing.T) {
+	for i := 0; i < prefixCacheLimit+16; i++ {
+		NewRand(int64(i), 0).Int63()
+	}
+	seedCache.mu.RLock()
+	n := len(seedCache.m)
+	seedCache.mu.RUnlock()
+	if n > prefixCacheLimit {
+		t.Fatalf("cache grew to %d entries, limit %d", n, prefixCacheLimit)
+	}
+	g, w := NewRand(5, 5).Int63(), stdlibRand(5, 5).Int63()
+	if g != w {
+		t.Fatalf("stream wrong after cache reset: %d != %d", g, w)
+	}
+}
+
+// BenchmarkNewRandWarm measures sampler construction with a warm cache — the
+// per-sampling-process cost on every round after the first.
+func BenchmarkNewRandWarm(b *testing.B) {
+	NewRand(1, 1).Int63()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRand(1, 1).Int63()
+	}
+}
+
+// BenchmarkNewRandStdlib is the pre-cache construction cost, for comparison.
+func BenchmarkNewRandStdlib(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stdlibRand(1, 1).Int63()
+	}
+}

@@ -9,12 +9,24 @@
 // (sampling before tuning) and then by the todo value of the requesting
 // tuning process — processes with fewer remaining samples are finished
 // first so they can release their resources sooner.
+//
+// Admission is two-tier. While the pool has headroom and nothing is queued,
+// Acquire and Release are a single CAS on the occupancy word — the
+// steady-state path of a sampling round never takes a lock. Only under
+// pressure (a request that does not fit) does the scheduler fall back to the
+// mutex-protected priority queue. The occupancy word and the waiter count
+// form the usual two-flag protocol: an acquirer publishes its waiter entry
+// before re-checking occupancy, a releaser decrements occupancy before
+// checking for waiters, so (with sequentially consistent atomics) at least
+// one side observes the other and no wakeup is lost.
 package sched
 
 import (
 	"container/heap"
 	"context"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -50,8 +62,17 @@ type waiter struct {
 	event Event
 	todo  int
 	seq   int64
-	ready chan struct{}
-	index int // heap position; -1 once admitted or removed
+	ready chan struct{} // 1-buffered; one token per queued stint
+	index int           // heap position; -1 once admitted or removed
+}
+
+// waiterPool recycles waiter entries. Admission is signalled by a buffered
+// send instead of a close, so the channel survives reuse; each queued stint
+// produces at most one token (wake sends exactly once when it dequeues the
+// entry, cancellation dequeues without sending) and every exit path drains
+// the token it was sent, so a pooled waiter's channel is always empty.
+var waiterPool = sync.Pool{
+	New: func() any { return &waiter{ready: make(chan struct{}, 1)} },
 }
 
 type waitQueue []*waiter
@@ -90,16 +111,23 @@ func (q *waitQueue) Pop() any {
 // Scheduler admits processes into a bounded pool. The zero value is not
 // usable; construct with New.
 type Scheduler struct {
-	mu       sync.Mutex
-	max      int
-	inUse    int
-	seq      int64
-	queue    waitQueue
-	stats    Stats
-	disabled bool
+	max   int
+	limS  int64 // occupancy bound for sampling processes
+	limT  int64 // occupancy bound for tuning processes (75% rule)
+	occ   atomic.Int64
+	nwait atomic.Int64 // number of queued waiters; releasers skip the mutex at 0
 
-	// Optional instruments (nil without Instrument). The gauge is updated
-	// under mu; the wait histograms are observed outside it.
+	admitted  atomic.Int64
+	waited    atomic.Int64
+	cancelled atomic.Int64
+	peak      atomic.Int64
+
+	mu    sync.Mutex
+	seq   int64
+	queue waitQueue
+
+	// Optional instruments (nil without Instrument); both are internally
+	// atomic, so hot-path updates do not take mu.
 	occupancy *obs.Gauge
 	waitS     *obs.Histogram
 	waitT     *obs.Histogram
@@ -112,7 +140,14 @@ func New(max int, disabled bool) *Scheduler {
 	if max <= 0 {
 		panic("sched: pool size must be positive")
 	}
-	return &Scheduler{max: max, disabled: disabled}
+	s := &Scheduler{max: max}
+	s.limS = int64(max)
+	s.limT = int64(tpLimitFor(max))
+	if disabled {
+		s.limS = math.MaxInt64
+		s.limT = math.MaxInt64
+	}
+	return s
 }
 
 // Scheduler metric names.
@@ -136,7 +171,7 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 }
 
 // waitHist returns the wait histogram for an event kind (nil when not
-// instrumented). Callers must hold s.mu.
+// instrumented).
 func (s *Scheduler) waitHist(event Event) *obs.Histogram {
 	if event == SpawnS {
 		return s.waitS
@@ -144,25 +179,50 @@ func (s *Scheduler) waitHist(event Event) *obs.Histogram {
 	return s.waitT
 }
 
-// tpLimit is the occupancy a tuning process may not reach.
-func (s *Scheduler) tpLimit() int {
-	lim := int(float64(s.max) * tpFraction)
+// tpLimitFor is the occupancy a tuning process may not reach.
+func tpLimitFor(max int) int {
+	lim := int(float64(max) * tpFraction)
 	if lim < 1 {
 		lim = 1
 	}
 	return lim
 }
 
-// admissible reports whether a request of the given kind fits right now.
-// Callers must hold s.mu.
-func (s *Scheduler) admissible(event Event) bool {
-	if s.disabled {
-		return true
-	}
+// limit returns the occupancy bound for an event kind.
+func (s *Scheduler) limit(event Event) int64 {
 	if event == SpawnS {
-		return s.inUse < s.max
+		return s.limS
 	}
-	return s.inUse < s.tpLimit()
+	return s.limT
+}
+
+// tryOcc attempts to take one slot for the given kind with a bounded CAS,
+// recording the peak on success. It is safe with or without s.mu held.
+func (s *Scheduler) tryOcc(event Event) bool {
+	lim := s.limit(event)
+	for {
+		o := s.occ.Load()
+		if o >= lim {
+			return false
+		}
+		if s.occ.CompareAndSwap(o, o+1) {
+			for {
+				p := s.peak.Load()
+				if o+1 <= p || s.peak.CompareAndSwap(p, o+1) {
+					break
+				}
+			}
+			return true
+		}
+	}
+}
+
+// noteAdmit records one admission's counters and gauge.
+func (s *Scheduler) noteAdmit() {
+	s.admitted.Add(1)
+	if s.occupancy != nil {
+		s.occupancy.Set(float64(s.occ.Load()))
+	}
 }
 
 // Acquire blocks until the scheduler admits a process of the given kind.
@@ -181,32 +241,57 @@ func (s *Scheduler) Acquire(event Event, todo int) {
 // Algorithm 1's admission queue stays live even when every outstanding
 // request belongs to a wedged region.
 func (s *Scheduler) AcquireCtx(ctx context.Context, event Event, todo int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Fast path: nothing queued and the pool has headroom — one CAS, no
+	// lock. Declined the moment anything waits, so queued requests keep
+	// their Algorithm 1 priority against new arrivals under pressure.
+	if s.nwait.Load() == 0 && s.tryOcc(event) {
+		s.noteAdmit()
+		if h := s.waitHist(event); h != nil {
+			h.Observe(0) // immediate admission: zero wait
+		}
+		return nil
+	}
+	return s.acquireSlow(ctx, event, todo)
+}
+
+// acquireSlow is the contended path: admission under the mutex, or a queued
+// wait ordered by the Algorithm 1 priority.
+func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int) error {
 	s.mu.Lock()
 	if err := ctx.Err(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	if s.admissible(event) {
-		s.admit()
-		h := s.waitHist(event)
+	h := s.waitHist(event)
+	if s.tryOcc(event) {
+		s.noteAdmit()
 		s.mu.Unlock()
 		if h != nil {
-			h.Observe(0) // immediate admission: zero wait
+			h.Observe(0)
 		}
 		return nil
 	}
-	s.stats.Waited++
-	w := &waiter{event: event, todo: todo, seq: s.seq, ready: make(chan struct{})}
+	s.waited.Add(1)
+	w := waiterPool.Get().(*waiter)
+	w.event, w.todo, w.seq = event, todo, s.seq
 	s.seq++
 	heap.Push(&s.queue, w)
-	h := s.waitHist(event)
+	s.nwait.Store(int64(s.queue.Len()))
+	// Re-check now that the waiter entry is published: a Release between our
+	// failed tryOcc and the publication saw nwait == 0 and skipped the wake;
+	// this wake admits the best waiter (not necessarily us) if a slot freed.
+	s.wakeLocked()
 	s.mu.Unlock()
 	var t0 time.Time
 	if h != nil {
 		t0 = time.Now()
 	}
 	select {
-	case <-w.ready: // admit() was performed by the releasing goroutine
+	case <-w.ready: // admitted by a releasing (or re-checking) goroutine
+		waiterPool.Put(w)
 		if h != nil {
 			h.ObserveSince(t0)
 		}
@@ -218,67 +303,69 @@ func (s *Scheduler) AcquireCtx(ctx context.Context, event Event, todo int) error
 			// cancellation; the slot is ours and the acquire succeeds.
 			s.mu.Unlock()
 			<-w.ready
+			waiterPool.Put(w)
 			if h != nil {
 				h.ObserveSince(t0)
 			}
 			return nil
 		}
 		heap.Remove(&s.queue, w.index)
-		s.stats.Cancelled++
+		s.nwait.Store(int64(s.queue.Len()))
+		s.cancelled.Add(1)
 		s.mu.Unlock()
+		waiterPool.Put(w)
 		return ctx.Err()
 	}
 }
 
-// admit marks one slot used. Callers must hold s.mu.
-func (s *Scheduler) admit() {
-	s.inUse++
-	s.stats.Admitted++
-	if s.inUse > s.stats.PeakInUse {
-		s.stats.PeakInUse = s.inUse
-	}
-	if s.occupancy != nil {
-		s.occupancy.Set(float64(s.inUse))
-	}
-}
-
 // Release returns a slot to the pool (Algorithm 1's EXIT event) and wakes
-// the highest-priority waiting request that now fits.
+// the highest-priority waiting request that now fits. With no waiters it is
+// a single CAS.
 func (s *Scheduler) Release() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.inUse <= 0 {
-		panic("sched: Release without matching Acquire")
+	for {
+		o := s.occ.Load()
+		if o <= 0 {
+			panic("sched: Release without matching Acquire")
+		}
+		if s.occ.CompareAndSwap(o, o-1) {
+			break
+		}
 	}
-	s.inUse--
 	if s.occupancy != nil {
-		s.occupancy.Set(float64(s.inUse))
+		s.occupancy.Set(float64(s.occ.Load()))
 	}
-	s.wake()
+	if s.nwait.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.wakeLocked()
+	s.mu.Unlock()
 }
 
-// wake admits as many queued waiters as now fit, in priority order.
+// wakeLocked admits as many queued waiters as now fit, in priority order.
 // Callers must hold s.mu.
-func (s *Scheduler) wake() {
+func (s *Scheduler) wakeLocked() {
 	for s.queue.Len() > 0 {
 		w := s.queue[0]
-		if !s.admissible(w.event) {
+		if !s.tryOcc(w.event) {
 			// The head is a tuning process blocked on the 75% limit; a
 			// sampling process deeper in the queue may still fit.
-			if w.event == SpawnT && s.inUse < s.max {
-				if i := s.firstSampling(); i >= 0 {
+			if w.event == SpawnT && s.queue.Len() > 1 {
+				if i := s.firstSampling(); i >= 0 && s.tryOcc(SpawnS) {
 					ws := s.queue[i]
 					heap.Remove(&s.queue, i)
-					s.admit()
-					close(ws.ready)
+					s.nwait.Store(int64(s.queue.Len()))
+					s.noteAdmit()
+					ws.ready <- struct{}{}
 					continue
 				}
 			}
 			return
 		}
 		heap.Pop(&s.queue)
-		s.admit()
-		close(w.ready)
+		s.nwait.Store(int64(s.queue.Len()))
+		s.noteAdmit()
+		w.ready <- struct{}{}
 	}
 }
 
@@ -298,15 +385,14 @@ func (s *Scheduler) firstSampling() int {
 }
 
 // InUse reports the number of currently admitted processes.
-func (s *Scheduler) InUse() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inUse
-}
+func (s *Scheduler) InUse() int { return int(s.occ.Load()) }
 
 // Stats returns a copy of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Admitted:  s.admitted.Load(),
+		Waited:    s.waited.Load(),
+		Cancelled: s.cancelled.Load(),
+		PeakInUse: int(s.peak.Load()),
+	}
 }

@@ -9,7 +9,10 @@ import (
 // op-stream decoded from fuzz input and checks them against naive model maps:
 // scoped exposure must isolate same-named variables across scopes, aggregate
 // commits must overwrite per (variable, index), and the derived views (Len,
-// Indices, Vec, Total, Snapshot) must stay consistent with the model.
+// Indices, Vec, Total, Snapshot) must stay consistent with the model. It also
+// interns every (scope, name) pair it touches into a Symbols table and checks
+// the interning invariants the hot path depends on: an ID never changes once
+// assigned, IDs are dense, and Lookup/Name round-trip.
 func FuzzStoreScopes(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
@@ -22,6 +25,21 @@ func FuzzStoreScopes(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		exposed := NewExposed()
 		aggStore := NewAgg()
+		syms := NewSymbols()
+		symModel := map[string]uint32{}
+		intern := func(name string) {
+			id := syms.Intern(name)
+			if want, ok := symModel[name]; ok {
+				if id != want {
+					t.Fatalf("Intern(%q) changed: %d then %d", name, want, id)
+				}
+				return
+			}
+			if int(id) != len(symModel) {
+				t.Fatalf("Intern(%q) = %d, want next dense ID %d", name, id, len(symModel))
+			}
+			symModel[name] = id
+		}
 		type skey struct{ scope, name string }
 		expModel := map[skey]float64{}
 		type akey struct {
@@ -35,6 +53,7 @@ func FuzzStoreScopes(f *testing.F) {
 			op, a, b := data[pc], data[pc+1], data[pc+2]
 			scope := scopes[int(a)%len(scopes)]
 			name := names[int(b)%len(names)]
+			intern(name)
 			val++
 			switch op % 5 {
 			case 0: // expose
@@ -42,6 +61,7 @@ func FuzzStoreScopes(f *testing.F) {
 				expModel[skey{scope, name}] = val
 			case 1: // aggregate commit (index from b, variable from a)
 				x := names[int(a)%len(names)]
+				intern(x)
 				i := int(b) % 8
 				aggStore.Put(x, i, val)
 				aggModel[akey{x, i}] = val
@@ -62,6 +82,20 @@ func FuzzStoreScopes(f *testing.F) {
 				if ok != wantOK || (ok && got.(float64) != want) {
 					t.Fatalf("Exposed.Get(%q, %q) = (%v, %v), model (%v, %v)", scope, name, got, ok, want, wantOK)
 				}
+			}
+		}
+
+		// Symbol table: dense IDs, stable assignment, round-trip intact.
+		if syms.Len() != len(symModel) {
+			t.Fatalf("Symbols.Len() = %d, model has %d", syms.Len(), len(symModel))
+		}
+		for name, want := range symModel {
+			id, ok := syms.Lookup(name)
+			if !ok || id != want {
+				t.Fatalf("Lookup(%q) = (%d, %v), model %d", name, id, ok, want)
+			}
+			if got := syms.Name(id); got != name {
+				t.Fatalf("Name(%d) = %q, want %q", id, got, name)
 			}
 		}
 

@@ -10,42 +10,94 @@
 // (function name) and backs the aggregation store with per-process files;
 // here both are in-memory and safe for concurrent use, which preserves the
 // observable semantics without a filesystem dependency.
+//
+// Both stores sit on the sample hot path, so they are built for contention:
+// the exposed store is sharded (per-shard RWMutex, struct keys so a Get
+// allocates nothing), carries a version counter that lets sampling processes
+// keep lock-free local read caches, and the aggregation store accepts one
+// batched put per sampling process instead of a lock round-trip per value.
+// The Symbols table interns variable names into dense IDs so per-process
+// state can live in slices instead of string-keyed maps.
 package store
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// exposedShards is the shard count of the exposed store — a power of two so
+// the shard index is a mask of the key hash. 16 shards keep worst-case
+// contention (every process loading the same scope) to a short RLock on one
+// of 16 locks while staying cache-friendly.
+const exposedShards = 16
+
+// skey is a scoped variable name. Using a comparable struct key instead of
+// the concatenated "scope\x00name" string means composing a key never
+// allocates, on reads or writes.
+type skey struct{ scope, name string }
+
+type exposedShard struct {
+	mu sync.RWMutex
+	m  map[skey]any
+}
 
 // Exposed is the exposed store. Keys combine a scope (typically the function
 // or stage name) with a variable name so same-named locals from different
 // scopes stay distinct, exactly as the paper's encoding does.
 type Exposed struct {
-	mu sync.RWMutex
-	m  map[string]any
+	version atomic.Uint64
+	shards  [exposedShards]exposedShard
 }
 
 // NewExposed returns an empty exposed store.
 func NewExposed() *Exposed {
-	return &Exposed{m: make(map[string]any)}
+	e := &Exposed{}
+	for i := range e.shards {
+		e.shards[i].m = make(map[skey]any)
+	}
+	return e
 }
 
-func key(scope, name string) string { return scope + "\x00" + name }
+// hashKey is FNV-1a over scope, a separator byte, and name — the same key
+// identity as the old concatenated encoding, without building the string.
+func hashKey(scope, name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(scope); i++ {
+		h = (h ^ uint64(scope[i])) * prime64
+	}
+	h = (h ^ 0) * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return h
+}
+
+func (e *Exposed) shard(scope, name string) *exposedShard {
+	return &e.shards[hashKey(scope, name)&(exposedShards-1)]
+}
 
 // Set exposes name in scope with the given value, overwriting any previous
 // exposure of the same scoped name.
 func (e *Exposed) Set(scope, name string, v any) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.m[key(scope, name)] = v
+	s := e.shard(scope, name)
+	s.mu.Lock()
+	s.m[skey{scope, name}] = v
+	s.mu.Unlock()
+	e.version.Add(1)
 }
 
 // Get loads an exposed variable. The boolean reports whether it was exposed.
 func (e *Exposed) Get(scope, name string) (any, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	v, ok := e.m[key(scope, name)]
+	s := e.shard(scope, name)
+	s.mu.RLock()
+	v, ok := s.m[skey{scope, name}]
+	s.mu.RUnlock()
 	return v, ok
 }
 
@@ -61,24 +113,98 @@ func (e *Exposed) MustGet(scope, name string) any {
 	return v
 }
 
+// Version reports a counter that increases on every Set. Readers that cache
+// loaded values locally revalidate against it with a single atomic load: an
+// unchanged version guarantees the cached values are current.
+func (e *Exposed) Version() uint64 { return e.version.Load() }
+
 // Len reports the number of exposed variables.
 func (e *Exposed) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.m)
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Snapshot returns a copy of the underlying map with human-readable
-// "scope/name" keys, for debugging and tests.
+// Snapshot returns a copy of the store keyed by the scope and name joined
+// with a NUL separator, for debugging and tests.
 func (e *Exposed) Snapshot() map[string]any {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make(map[string]any, len(e.m))
-	for k, v := range e.m {
-		out[k] = v
+	out := make(map[string]any)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			out[k.scope+"\x00"+k.name] = v
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
+
+// symTable is one immutable snapshot of a Symbols table. Readers get the
+// whole snapshot with one atomic load, so lookups never take a lock.
+type symTable struct {
+	ids   map[string]uint32
+	names []string
+}
+
+// Symbols interns variable names into dense IDs (0, 1, 2, ...) so that
+// per-process hot-path state can be indexed slices instead of string-keyed
+// maps. Lookups and hits are lock-free copy-on-write reads; only the first
+// interning of a new name takes the writer lock. A Symbols table only grows:
+// IDs stay valid for the table's lifetime.
+type Symbols struct {
+	p  atomic.Pointer[symTable]
+	mu sync.Mutex
+}
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols {
+	s := &Symbols{}
+	s.p.Store(&symTable{ids: map[string]uint32{}})
+	return s
+}
+
+// Lookup returns the ID interned for name, if any. It never takes a lock.
+func (s *Symbols) Lookup(name string) (uint32, bool) {
+	id, ok := s.p.Load().ids[name]
+	return id, ok
+}
+
+// Intern returns the dense ID for name, assigning the next free ID on first
+// use. Hits are lock-free; a miss copies the table once.
+func (s *Symbols) Intern(name string) uint32 {
+	if id, ok := s.p.Load().ids[name]; ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.p.Load()
+	if id, ok := t.ids[name]; ok { // interned while we waited for the lock
+		return id
+	}
+	next := &symTable{ids: make(map[string]uint32, len(t.ids)+1), names: make([]string, len(t.names)+1)}
+	for k, v := range t.ids {
+		next.ids[k] = v
+	}
+	copy(next.names, t.names)
+	id := uint32(len(t.names))
+	next.ids[name] = id
+	next.names[id] = name
+	s.p.Store(next)
+	return id
+}
+
+// Name returns the name interned as id. It panics on an unassigned ID,
+// which is always a runtime bug.
+func (s *Symbols) Name(id uint32) string { return s.p.Load().names[id] }
+
+// Len reports how many names have been interned.
+func (s *Symbols) Len() int { return len(s.p.Load().names) }
 
 // Agg is the aggregation store of one tuning process. It maps each sample
 // result variable x to a vector δ(x) whose i-th entry holds the value of x
@@ -93,12 +219,37 @@ func NewAgg() *Agg {
 	return &Agg{m: make(map[string]map[int]any)}
 }
 
+// KV is one committed (variable, value) pair, the unit of a batched put.
+type KV struct {
+	X string
+	V any
+}
+
 // Put commits the value of x from sampling process index i. A second commit
 // for the same (x, i) overwrites: a sampling process that commits the same
 // variable twice keeps its latest value, matching δ[x[pid] ↦ σ(x)].
 func (a *Agg) Put(x string, i int, v any) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.put(x, i, v)
+}
+
+// PutBatch commits every (variable, value) pair from sampling process index
+// i under one lock acquisition — the batch flush a finishing sampling
+// process performs instead of a lock round-trip per committed variable.
+func (a *Agg) PutBatch(i int, kvs []KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, kv := range kvs {
+		a.put(kv.X, i, kv.V)
+	}
+}
+
+// put is the locked single-entry commit. Callers must hold a.mu.
+func (a *Agg) put(x string, i int, v any) {
 	vec, ok := a.m[x]
 	if !ok {
 		vec = make(map[int]any)

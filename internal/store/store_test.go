@@ -47,15 +47,15 @@ func TestExposedNoKeyCollision(t *testing.T) {
 	// Scope "a" + name "b::c" must not collide with scope "a::b" + name "c"
 	// under any naive string concatenation.
 	e := NewExposed()
-	e.Set("a", "b\x00c", 1) // adversarial name containing the separator
+	e.Set("a", "b\x00c", 1) // adversarial name containing the old separator
 	e.Set("a\x00b", "c", 2)
 	v1, _ := e.Get("a", "b\x00c")
 	v2, _ := e.Get("a\x00b", "c")
-	// Even with the adversarial name the two keys collide by construction;
-	// this documents the limitation: NUL is reserved. Values must at least
-	// be last-writer-wins rather than corrupted.
-	if v1 != v2 {
-		t.Fatalf("reserved separator produced inconsistent reads: %v vs %v", v1, v2)
+	// The struct-keyed shards keep scope and name separate, so even names
+	// containing the historical NUL separator cannot alias across scopes
+	// (the concatenated encoding used to collide here by construction).
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("adversarial separator names aliased: %v vs %v", v1, v2)
 	}
 	// Normal names never collide.
 	e2 := NewExposed()
@@ -234,5 +234,125 @@ func TestAggTotal(t *testing.T) {
 	a.Put("y", 0, 1)
 	if a.Total() != 3 {
 		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestExposedConcurrentAcrossShards(t *testing.T) {
+	// Writers spread over many (scope, name) pairs so all shards see traffic;
+	// readers poll Version and re-read on change, like the SP load cache does.
+	e := NewExposed()
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, n := range names {
+					e.Set("scope", n, g*1000+i)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := uint64(0)
+		for i := 0; i < 500; i++ {
+			v := e.Version()
+			if v < last {
+				t.Errorf("Version went backwards: %d then %d", last, v)
+				return
+			}
+			last = v
+			for _, n := range names {
+				e.Get("scope", n)
+			}
+		}
+	}()
+	wg.Wait()
+	if e.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", e.Len(), len(names))
+	}
+	if e.Version() == 0 {
+		t.Fatal("Version never advanced despite writes")
+	}
+}
+
+func TestSymbolsInternDenseIDs(t *testing.T) {
+	s := NewSymbols()
+	names := []string{"alpha", "beta", "gamma", "alpha", "beta"}
+	want := []uint32{0, 1, 2, 0, 1}
+	for i, n := range names {
+		if id := s.Intern(n); id != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", n, id, want[i])
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		id, ok := s.Lookup(n)
+		if !ok || s.Name(id) != n {
+			t.Fatalf("Lookup/Name round-trip broken for %q: id=%d ok=%v", n, id, ok)
+		}
+	}
+	if _, ok := s.Lookup("delta"); ok {
+		t.Fatal("Lookup found a name that was never interned")
+	}
+}
+
+func TestSymbolsConcurrentIntern(t *testing.T) {
+	// Many goroutines intern an overlapping name set; every name must get
+	// exactly one ID, IDs must be dense, and Lookup/Name must agree with
+	// what each goroutine observed.
+	s := NewSymbols()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	var wg sync.WaitGroup
+	got := make([]map[string]uint32, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seen := make(map[string]uint32, len(names))
+			for i := 0; i < 100; i++ {
+				n := names[(g+i)%len(names)]
+				id := s.Intern(n)
+				if prev, ok := seen[n]; ok && prev != id {
+					t.Errorf("Intern(%q) changed: %d then %d", n, prev, id)
+					return
+				}
+				seen[n] = id
+			}
+			got[g] = seen
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(names))
+	}
+	usedIDs := make(map[uint32]string)
+	for _, n := range names {
+		id, ok := s.Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing after concurrent interning", n)
+		}
+		if int(id) >= len(names) {
+			t.Fatalf("ID %d for %q not dense (Len = %d)", id, n, len(names))
+		}
+		if other, dup := usedIDs[id]; dup {
+			t.Fatalf("ID %d assigned to both %q and %q", id, other, n)
+		}
+		usedIDs[id] = n
+		if s.Name(id) != n {
+			t.Fatalf("Name(%d) = %q, want %q", id, s.Name(id), n)
+		}
+	}
+	for g, seen := range got {
+		for n, id := range seen {
+			if canonical, _ := s.Lookup(n); canonical != id {
+				t.Fatalf("goroutine %d saw Intern(%q) = %d, table says %d", g, n, id, canonical)
+			}
+		}
 	}
 }

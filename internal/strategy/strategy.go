@@ -12,6 +12,7 @@ package strategy
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dist"
 )
@@ -40,6 +41,27 @@ type Sampler interface {
 	Draw(name string, d dist.Dist) float64
 }
 
+// Recycler is implemented by samplers whose resources can be returned to an
+// internal pool. The runtime calls Recycle once it is certain nothing will
+// draw from the sampler again; the sampler must not be used afterwards.
+type Recycler interface {
+	Recycle()
+}
+
+// rngPool recycles the per-sampler generators. A pooled generator is fully
+// re-seeded before reuse (dist.Reseed), so draws are bit-identical to a
+// freshly constructed one — pooling only removes the two allocations per
+// sampling process that generator construction costs.
+var rngPool = sync.Pool{
+	New: func() any { return dist.NewRand(0, 0) },
+}
+
+func pooledRand(seed int64, idx int) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	dist.Reseed(r, seed, int64(idx))
+	return r
+}
+
 // randStrategy implements independent random sampling.
 type randStrategy struct{}
 
@@ -50,12 +72,14 @@ func Rand() Strategy { return randStrategy{} }
 func (randStrategy) Name() string { return "RAND" }
 
 func (randStrategy) Sampler(seed int64, idx, n int, _ []Feedback) Sampler {
-	return randSampler{r: dist.NewRand(seed, int64(idx))}
+	return randSampler{r: pooledRand(seed, idx)}
 }
 
 type randSampler struct{ r *rand.Rand }
 
 func (s randSampler) Draw(_ string, d dist.Dist) float64 { return d.Draw(s.r) }
+
+func (s randSampler) Recycle() { rngPool.Put(s.r) }
 
 // MCMCOptions configure the MCMC strategy.
 type MCMCOptions struct {
@@ -97,7 +121,7 @@ func MCMC(opts MCMCOptions) Strategy { return mcmcStrategy{opts: opts.withDefaul
 func (mcmcStrategy) Name() string { return "MCMC" }
 
 func (m mcmcStrategy) Sampler(seed int64, idx, n int, fb []Feedback) Sampler {
-	r := dist.NewRand(seed, int64(idx))
+	r := pooledRand(seed, idx)
 	explore := len(fb) == 0 || float64(idx) < float64(n)*m.opts.ExploreFrac
 	if explore {
 		return randSampler{r: r}
@@ -120,6 +144,8 @@ type mcmcSampler struct {
 	start map[string]float64
 	scale float64
 }
+
+func (s *mcmcSampler) Recycle() { rngPool.Put(s.r) }
 
 func (s *mcmcSampler) Draw(name string, d dist.Dist) float64 {
 	cur, ok := s.start[name]
