@@ -62,15 +62,21 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       experiments -bench-json <path> [-bench-baseline <path>]")
 }
 
-// benchReport runs the hot-path microbenchmarks, writes the perf report,
-// and (when a baseline report is given) gates on the sampling-throughput
-// regression threshold. Returns the process exit code.
+// benchReport runs the hot-path microbenchmarks plus the worker-scaling
+// sweep, writes the perf report, and (when a baseline report is given) gates
+// on the regression threshold. Returns the process exit code.
 func benchReport(out, baseline string) int {
 	const tolerance = 0.25
 	results := bench.RunPerf()
+	scaling, err := bench.ScalingPerf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: worker scaling:", err)
+		return 1
+	}
+	results = append(results, scaling...)
 	rep := bench.PerfReport{
-		PR:         3,
-		Note:       "hot-path overhaul: interned stores, pooled SPs, batched commits, scheduler fast path",
+		PR:         4,
+		Note:       "distributed sampling executor: remote worker fleet, snapshot shipping, work stealing",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 		Baseline:   bench.PrePRBaseline(),

@@ -1,0 +1,67 @@
+// Command wbtune-worker is one member of a distributed sampling fleet. It
+// listens for a dispatcher (a tuner configured with remote.NetExecutor),
+// runs the sampling processes it is handed against the built-in region
+// registry, and streams results back in batches.
+//
+//	wbtune-worker -listen :7071 -slots 4 -name worker-a
+//
+// On SIGTERM or SIGINT the worker drains gracefully: it stops accepting
+// work, finishes in-flight sampling processes, flushes pending result
+// batches, says goodbye to its dispatchers, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7071", "TCP address to listen on")
+	slots := flag.Int("slots", 0, "concurrent sampling processes (0 = 2x GOMAXPROCS)")
+	name := flag.String("name", "", "worker name reported to dispatchers (default: host:port)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight samples on shutdown")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbtune-worker: %v\n", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		*name = ln.Addr().String()
+	}
+	w := remote.NewWorker(remote.WorkerOptions{
+		Name:     *name,
+		Slots:    *slots,
+		Registry: remote.Builtins(),
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "wbtune-worker: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := w.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune-worker: drain: %v\n", err)
+			w.Close()
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+
+	fmt.Fprintf(os.Stderr, "wbtune-worker: %s listening on %s\n", *name, ln.Addr())
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "wbtune-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -186,29 +186,39 @@ func findPerf(rs []PerfResult, name string) (PerfResult, bool) {
 	return PerfResult{}, false
 }
 
-// ComparePerf checks the sampling-throughput benchmark of cur against the
-// same benchmark in base and returns a description of every regression
-// beyond tol (0.25 = fail when >25% worse). Throughput may drop by tol;
+// ComparePerf checks every benchmark of cur that also appears in base and
+// returns a description of every regression beyond tol (0.25 = fail when
+// >25% worse). Throughput (where both sides measured it) may drop by tol;
 // allocations per op may grow by tol (allocs are machine-independent, so
-// this is the stable half of the gate).
+// this is the stable half of the gate). Benchmarks new in cur pass freely —
+// they become gated once a baseline report contains them. The hot-path
+// benchmark must be present on both sides; its absence means the report is
+// broken, not merely incomparable.
 func ComparePerf(cur, base []PerfResult, tol float64) []string {
-	c, okC := findPerf(cur, HotPathBench)
-	b, okB := findPerf(base, HotPathBench)
-	if !okC || !okB {
-		return []string{fmt.Sprintf("benchmark %q missing from current or baseline report", HotPathBench)}
+	if _, ok := findPerf(cur, HotPathBench); !ok {
+		return []string{fmt.Sprintf("benchmark %q missing from current report", HotPathBench)}
+	}
+	if _, ok := findPerf(base, HotPathBench); !ok {
+		return []string{fmt.Sprintf("benchmark %q missing from baseline report", HotPathBench)}
 	}
 	var regressions []string
-	if b.SamplesPerSec > 0 && c.SamplesPerSec < b.SamplesPerSec*(1-tol) {
-		regressions = append(regressions, fmt.Sprintf(
-			"%s throughput regressed: %.0f samples/sec vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
-			HotPathBench, c.SamplesPerSec, b.SamplesPerSec,
-			100*(1-c.SamplesPerSec/b.SamplesPerSec), 100*tol))
-	}
-	if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
-		regressions = append(regressions, fmt.Sprintf(
-			"%s allocations regressed: %d allocs/op vs baseline %d (+%.0f%%, tolerance %.0f%%)",
-			HotPathBench, c.AllocsPerOp, b.AllocsPerOp,
-			100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol))
+	for _, c := range cur {
+		b, ok := findPerf(base, c.Name)
+		if !ok {
+			continue
+		}
+		if b.SamplesPerSec > 0 && c.SamplesPerSec > 0 && c.SamplesPerSec < b.SamplesPerSec*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s throughput regressed: %.0f samples/sec vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+				c.Name, c.SamplesPerSec, b.SamplesPerSec,
+				100*(1-c.SamplesPerSec/b.SamplesPerSec), 100*tol))
+		}
+		if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocations regressed: %d allocs/op vs baseline %d (+%.0f%%, tolerance %.0f%%)",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp,
+				100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol))
+		}
 	}
 	return regressions
 }

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+)
+
+// Worker-scaling benchmark: the same synthetic sampling workload run
+// in-process and against loopback worker fleets of increasing size. The
+// synthetic region's cost is a fixed wall-clock service time per sample
+// (simulated compute), so the measurement isolates what the distributed
+// executor adds — dispatch, steal, snapshot shipping, result streaming —
+// and how throughput scales with workers, independent of host core count.
+
+// Scaling workload defaults, also used for BENCH_<pr>.json.
+const (
+	scalingSamples       = 64
+	scalingServiceMicros = 2000
+)
+
+// ScalingFleets are the fleet sizes the benchmark sweeps.
+var ScalingFleets = []int{1, 2, 4}
+
+// ScalingPoint is one worker-scaling measurement.
+type ScalingPoint struct {
+	Mode          string  `json:"mode"` // "in-process" or "workers-N"
+	Workers       int     `json:"workers"`
+	Samples       int     `json:"samples"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// RunWorkerScaling measures the synthetic workload in-process and against
+// loopback fleets of the given sizes (single-slot workers, so fleet size is
+// the concurrency). The in-process point is always first.
+func RunWorkerScaling(samples, serviceMicros int, fleets []int) ([]ScalingPoint, error) {
+	pts := make([]ScalingPoint, 0, len(fleets)+1)
+	el, err := scalingElapsed(nil, samples, serviceMicros)
+	if err != nil {
+		return nil, fmt.Errorf("in-process: %w", err)
+	}
+	pts = append(pts, scalingPoint("in-process", 0, samples, el))
+	for _, n := range fleets {
+		ex, cleanup, err := loopbackFleet(n)
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		el, err := scalingElapsed(ex, samples, serviceMicros)
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		pts = append(pts, scalingPoint(fmt.Sprintf("workers-%d", n), n, samples, el))
+	}
+	return pts, nil
+}
+
+func scalingPoint(mode string, workers, samples int, el time.Duration) ScalingPoint {
+	return ScalingPoint{
+		Mode: mode, Workers: workers, Samples: samples,
+		ElapsedMs:     float64(el.Nanoseconds()) / 1e6,
+		SamplesPerSec: float64(samples) / el.Seconds(),
+	}
+}
+
+// loopbackFleet builds a NetExecutor fed by n single-slot in-process workers
+// over net.Pipe. Dispatcher and workers use separate Builtins registries and
+// no shared value table — the standalone wbtune-worker configuration, so the
+// full wire path (snapshot shipping included) is on the clock.
+func loopbackFleet(n int) (*remote.NetExecutor, func(), error) {
+	ex := remote.NewExecutor(remote.ExecutorOptions{Registry: remote.Builtins()})
+	workers := make([]*remote.Worker, 0, n)
+	cleanup := func() {
+		ex.Close()
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := remote.NewWorker(remote.WorkerOptions{
+			Name: fmt.Sprintf("bench-w%d", i), Slots: 1, Registry: remote.Builtins(),
+		})
+		a, b := net.Pipe()
+		go w.ServeConn(a)
+		if err := ex.AddConn(b); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		workers = append(workers, w)
+	}
+	return ex, cleanup, nil
+}
+
+// scalingElapsed times one synthetic region: samples sampling processes of
+// serviceMicros each, through the given executor (nil = in-process) on a
+// single-slot local pool so added concurrency comes only from workers.
+func scalingElapsed(ex core.Executor, samples, serviceMicros int) (time.Duration, error) {
+	opts := core.Options{MaxPool: 1, Seed: 1}
+	if ex != nil {
+		opts.Executor = ex
+	}
+	tuner := core.New(opts)
+	spec, body := remote.SyntheticSpec(samples)
+	var elapsed time.Duration
+	err := tuner.Run(func(p *core.P) error {
+		p.Expose(remote.SyntheticServiceKey, serviceMicros)
+		t0 := time.Now()
+		res, err := p.Region(spec, body)
+		elapsed = time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if got := res.Len("f"); got != samples {
+			return fmt.Errorf("scaling run lost samples: %d of %d committed", got, samples)
+		}
+		return nil
+	})
+	return elapsed, err
+}
+
+// ScalingPerf runs the worker-scaling sweep with the default workload and
+// returns it as perf-report entries, one per point, named
+// worker_scaling_<mode>. SamplesPerSec is aggregate sampling throughput.
+func ScalingPerf() ([]PerfResult, error) {
+	pts, err := RunWorkerScaling(scalingSamples, scalingServiceMicros, ScalingFleets)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PerfResult, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, PerfResult{
+			Name:          "worker_scaling_" + p.Mode,
+			NsPerOp:       p.ElapsedMs * 1e6 / float64(p.Samples),
+			SamplesPerSec: p.SamplesPerSec,
+		})
+	}
+	return out, nil
+}

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -71,6 +70,12 @@ type Options struct {
 	// whole-region budgets, and the retry policy. The zero value disables
 	// it (finish-or-panic semantics, as in the paper).
 	Fault FaultPolicy
+	// Executor, when non-nil, runs sampling processes somewhere other than
+	// this process (e.g. a remote worker fleet). Regions the executor
+	// declines — cross-validation groups, bodies with Sync barriers,
+	// unresolvable bodies — fall back to the in-process path. Nil means
+	// everything runs in-process, exactly as before.
+	Executor Executor
 }
 
 // Metrics report what a tuning run did. All counters are cumulative over
@@ -114,44 +119,29 @@ type Metrics struct {
 	Scheduler sched.Stats
 }
 
-// atomicFloat accumulates a float64 with a CAS loop. Add order is whatever
-// order callers arrive in — the same serialization a mutex would give.
-type atomicFloat struct{ bits atomic.Uint64 }
-
-func (f *atomicFloat) Add(v float64) {
-	for {
-		old := f.bits.Load()
-		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
-
 // counters holds the Tuner's run counters. Every field is updated atomically
 // so per-sample accounting never serializes the pool on a tuner-wide mutex.
+// Work is accounted in integer 1/1024 units ("milli" work): integer addition
+// is order-independent, so work totals are bit-identical however sample
+// completions interleave — and however samples are split between the local
+// pool and a remote executor.
 type counters struct {
-	regions, rounds, samples    atomic.Int64
-	pruned, panics, timeouts    atomic.Int64
-	retried, degraded, splits   atomic.Int64
-	peakRetained                atomic.Int64
-	workUnits, workSer, workPar atomicFloat
+	regions, rounds, samples  atomic.Int64
+	pruned, panics, timeouts  atomic.Int64
+	retried, degraded, splits atomic.Int64
+	peakRetained              atomic.Int64
+	workSer, workPar          atomic.Int64 // milli work units
 }
 
 // regionShape is the per-region-name state the Tuner accumulates across
-// rounds: the interned symbol table for the region's variable names, the
+// rounds: the interned symbol table for the region's variable names and the
 // recycling pool for its sampling-process structs (region bodies draw and
 // commit the same variables every round, so a pooled SP's slices are already
-// the right size), and the feedback history feedback-driven strategies read.
-// Keeping feedback here, under its own mutex, takes the per-sample feedback
-// path off any tuner-global lock.
+// the right size). Feedback history lives on the tuning processes, not here —
+// see P.fbSeen.
 type regionShape struct {
 	syms *store.Symbols
 	pool sync.Pool // *SP
-
-	fbMu     sync.Mutex
-	feedback []strategy.Feedback
 }
 
 // Tuner is the white-box tuning engine. Create one per tuning task with New
@@ -168,6 +158,10 @@ type Tuner struct {
 	nextPID   atomic.Int64
 
 	shapes sync.Map // region name -> *regionShape
+
+	// execSkip marks region names the executor declined (BeginRound error or
+	// an in-body Sync); their future rounds go straight to the local path.
+	execSkip sync.Map // region name -> struct{}
 }
 
 // New returns a Tuner with the given options.
@@ -186,6 +180,13 @@ func New(opts Options) *Tuner {
 	}
 	if opts.Obs != nil {
 		t.sched.Instrument(opts.Obs)
+	}
+	if opts.Executor != nil {
+		if c := opts.Executor.Capacity(); c > 0 {
+			// Remote slots join Algorithm 1's admission bound: a dispatched
+			// sample occupies a scheduler slot exactly like a local one.
+			t.sched.AddCapacity(c)
+		}
 	}
 	return t
 }
@@ -233,12 +234,22 @@ func (t *Tuner) addWork(units float64, parallel bool) {
 	if units < 0 {
 		panic("core: negative work")
 	}
-	atomic.AddInt64(&t.workMilli, int64(units*1024))
-	t.ctr.workUnits.Add(units)
+	t.addWorkMilli(int64(units*1024), parallel)
+}
+
+// addWorkMilli accounts work already quantized to 1/1024 units. Detached
+// sampling processes (remote workers) quantize per Work call with the same
+// conversion and ship the per-attempt sum, so a distributed run's totals
+// equal the in-process run's bit for bit.
+func (t *Tuner) addWorkMilli(milli int64, parallel bool) {
+	if milli == 0 {
+		return
+	}
+	atomic.AddInt64(&t.workMilli, milli)
 	if parallel {
-		t.ctr.workPar.Add(units)
+		t.ctr.workPar.Add(milli)
 	} else {
-		t.ctr.workSer.Add(units)
+		t.ctr.workSer.Add(milli)
 	}
 }
 
@@ -265,42 +276,16 @@ func (t *Tuner) Metrics() Metrics {
 		Retried:      t.ctr.retried.Load(),
 		Degraded:     t.ctr.degraded.Load(),
 		Splits:       t.ctr.splits.Load(),
-		WorkUnits:    t.ctr.workUnits.Load(),
-		WorkSerial:   t.ctr.workSer.Load(),
-		WorkParallel: t.ctr.workPar.Load(),
+		WorkUnits:    t.WorkUsed(),
+		WorkSerial:   float64(t.ctr.workSer.Load()) / 1024,
+		WorkParallel: float64(t.ctr.workPar.Load()) / 1024,
 		PeakRetained: t.ctr.peakRetained.Load(),
 		Scheduler:    t.sched.Stats(),
 	}
 }
 
-// feedbackFor returns a copy of the accumulated feedback for a region name,
-// sorted best-first for the given direction.
-func (t *Tuner) feedbackFor(name string, minimize bool) []strategy.Feedback {
-	sh := t.shape(name)
-	sh.fbMu.Lock()
-	fb := append([]strategy.Feedback(nil), sh.feedback...)
-	sh.fbMu.Unlock()
-	strategy.SortBestFirst(fb, minimize)
-	return fb
-}
-
-// maxFeedback bounds how much per-region feedback the tuner retains.
+// maxFeedback bounds how much per-region feedback a strategy is handed.
 const maxFeedback = 64
-
-func (t *Tuner) addFeedback(name string, fb []strategy.Feedback, minimize bool) {
-	if len(fb) == 0 {
-		return
-	}
-	sh := t.shape(name)
-	sh.fbMu.Lock()
-	defer sh.fbMu.Unlock()
-	all := append(sh.feedback, fb...)
-	strategy.SortBestFirst(all, minimize)
-	if len(all) > maxFeedback {
-		all = all[:maxFeedback]
-	}
-	sh.feedback = all
-}
 
 func (t *Tuner) notePeakRetained(v int64) {
 	for {
@@ -340,6 +325,56 @@ type P struct {
 	pending int64 // atomic; split children not yet finished
 	errM    sync.Mutex
 	errs    []error
+
+	// Feedback visibility follows the split/wait causal order, so which
+	// samples a feedback-driven strategy learns from is a function of the
+	// program's structure, never of goroutine or remote-worker scheduling —
+	// the property that keeps distributed runs bit-identical to local ones.
+	// fbSeen is the feedback this process can see: the parent's view
+	// snapshotted at the split point, plus everything its own completed
+	// rounds produced or Wait merged back from children. fbNew is the subset
+	// created under this process, handed to the parent when it Waits.
+	// Both are touched only from the process's own logical thread (Split
+	// snapshots before the child goroutine starts, Wait merges after the
+	// children are done), so they need no lock; slices are never mutated in
+	// place, so parent and child views may share backing arrays.
+	fbSeen   map[string][]strategy.Feedback
+	fbNew    map[string][]strategy.Feedback
+	children []*P // split order; fixes the Wait merge order
+}
+
+// feedbackFor returns the feedback visible to this tuning process for a
+// region name, best-first, capped at maxFeedback entries.
+func (p *P) feedbackFor(name string, minimize bool) []strategy.Feedback {
+	fb := append([]strategy.Feedback(nil), p.fbSeen[name]...)
+	strategy.SortBestFirst(fb, minimize)
+	if len(fb) > maxFeedback {
+		fb = fb[:maxFeedback]
+	}
+	return fb
+}
+
+// addFeedback records the feedback one of p's completed rounds produced.
+func (p *P) addFeedback(name string, fb []strategy.Feedback) {
+	if len(fb) == 0 {
+		return
+	}
+	if p.fbSeen == nil {
+		p.fbSeen = make(map[string][]strategy.Feedback)
+	}
+	if p.fbNew == nil {
+		p.fbNew = make(map[string][]strategy.Feedback)
+	}
+	p.fbSeen[name] = appendFeedback(p.fbSeen[name], fb)
+	p.fbNew[name] = appendFeedback(p.fbNew[name], fb)
+}
+
+// appendFeedback concatenates into a fresh backing array: views inherited
+// across Split share slices, so in-place append would corrupt siblings.
+func appendFeedback(dst, src []strategy.Feedback) []strategy.Feedback {
+	out := make([]strategy.Feedback, 0, len(dst)+len(src))
+	out = append(out, dst...)
+	return append(out, src...)
 }
 
 // Tuner returns the engine this process belongs to.
@@ -389,6 +424,17 @@ func (p *P) Split(fn func(child *P) error) {
 	p.t.ctr.splits.Add(1)
 	p.t.obsv.noteSplit()
 	p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
+	// The child and its feedback view are fixed here, at the split point in
+	// the parent's own thread — not when the goroutine gets scheduled — so
+	// what the child can see never depends on timing.
+	child := p.t.newP(p.ctx)
+	if len(p.fbSeen) > 0 {
+		child.fbSeen = make(map[string][]strategy.Feedback, len(p.fbSeen))
+		for name, fb := range p.fbSeen {
+			child.fbSeen[name] = fb
+		}
+	}
+	p.children = append(p.children, child)
 	p.wg.Add(1)
 	atomic.AddInt64(&p.pending, 1)
 	go func() {
@@ -396,7 +442,6 @@ func (p *P) Split(fn func(child *P) error) {
 		defer atomic.AddInt64(&p.pending, -1)
 		p.t.sched.Acquire(sched.SpawnT, 0)
 		defer p.t.sched.Release()
-		child := p.t.newP(p.ctx)
 		err := fn(child)
 		if werr := child.Wait(); werr != nil {
 			err = errors.Join(err, werr)
@@ -421,6 +466,16 @@ func (p *P) Wait() error {
 	} else {
 		p.wg.Wait()
 	}
+	// Children are done (wg.Wait synchronizes with their goroutines): merge
+	// the feedback they created into this process's view, in split order, so
+	// the merged list is the same no matter which child finished first.
+	for _, c := range p.children {
+		for name, fb := range c.fbNew {
+			p.addFeedback(name, fb)
+		}
+		c.fbNew, c.fbSeen = nil, nil
+	}
+	p.children = nil
 	p.errM.Lock()
 	defer p.errM.Unlock()
 	err := errors.Join(p.errs...)

@@ -67,8 +67,7 @@ func TestIncrementalReducesPeakRetained(t *testing.T) {
 }
 
 func TestFeedbackSharedAcrossSameNamedRegions(t *testing.T) {
-	tuner := newTuner()
-	run(t, tuner, func(p *P) error {
+	run(t, newTuner(), func(p *P) error {
 		spec := RegionSpec{
 			Name: "shared", Samples: 6, Minimize: true,
 			Score: func(sp *SP) float64 {
@@ -83,24 +82,70 @@ func TestFeedbackSharedAcrossSameNamedRegions(t *testing.T) {
 		if _, err := p.Region(spec, body); err != nil {
 			return err
 		}
-		_, err := p.Region(spec, body)
-		return err
-	})
-	fb := tuner.feedbackFor("shared", true)
-	if len(fb) != 12 {
-		t.Fatalf("feedback entries = %d, want 12 from two rounds", len(fb))
-	}
-	// Best-first ordering.
-	for i := 1; i < len(fb); i++ {
-		if fb[i].Score < fb[i-1].Score {
-			t.Fatal("feedback not sorted best-first")
+		if _, err := p.Region(spec, body); err != nil {
+			return err
 		}
+		fb := p.feedbackFor("shared", true)
+		if len(fb) != 12 {
+			return fmt.Errorf("feedback entries = %d, want 12 from two rounds", len(fb))
+		}
+		// Best-first ordering.
+		for i := 1; i < len(fb); i++ {
+			if fb[i].Score < fb[i-1].Score {
+				return fmt.Errorf("feedback not sorted best-first")
+			}
+		}
+		return nil
+	})
+}
+
+// TestFeedbackCausalVisibility pins the determinism contract: a split child
+// sees the feedback its parent had accumulated at the split point, sibling
+// splits never see each other's in-flight feedback (that would depend on
+// scheduling), and Wait merges the children's contributions back into the
+// parent in split order.
+func TestFeedbackCausalVisibility(t *testing.T) {
+	spec := RegionSpec{
+		Name: "causal", Samples: 3, Minimize: true,
+		Score: func(sp *SP) float64 { return 0 },
 	}
+	body := func(sp *SP) error {
+		sp.Commit("x", sp.Float("x", dist.Uniform(0, 1)))
+		return nil
+	}
+	run(t, newTuner(), func(p *P) error {
+		if _, err := p.Region(spec, body); err != nil {
+			return err
+		}
+		start := make(chan struct{})
+		lens := make([]int, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			p.Split(func(c *P) error {
+				<-start // both children in flight before either runs a round
+				lens[i] = len(c.feedbackFor("causal", true))
+				_, err := c.Region(spec, body)
+				return err
+			})
+		}
+		close(start)
+		if err := p.Wait(); err != nil {
+			return err
+		}
+		for i, n := range lens {
+			if n != 3 {
+				return fmt.Errorf("child %d saw %d entries at split, want the parent's 3", i, n)
+			}
+		}
+		if n := len(p.feedbackFor("causal", true)); n != 9 {
+			return fmt.Errorf("parent sees %d entries after Wait, want 9 (own round + both children)", n)
+		}
+		return nil
+	})
 }
 
 func TestFeedbackCapped(t *testing.T) {
-	tuner := newTuner()
-	run(t, tuner, func(p *P) error {
+	run(t, newTuner(), func(p *P) error {
 		for round := 0; round < 10; round++ {
 			_, err := p.Region(RegionSpec{
 				Name: "cap", Samples: 10, Minimize: true,
@@ -110,11 +155,11 @@ func TestFeedbackCapped(t *testing.T) {
 				return err
 			}
 		}
+		if got := len(p.feedbackFor("cap", true)); got > maxFeedback {
+			return fmt.Errorf("feedback grew to %d, cap is %d", got, maxFeedback)
+		}
 		return nil
 	})
-	if got := len(tuner.feedbackFor("cap", true)); got > maxFeedback {
-		t.Fatalf("feedback grew to %d, cap is %d", got, maxFeedback)
-	}
 }
 
 func TestResultEdgeCases(t *testing.T) {

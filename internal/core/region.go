@@ -165,19 +165,27 @@ func improved(next, prev float64, minimize bool, eps float64) bool {
 	return (next-prev)/denom > eps
 }
 
-// regionState is the shared state of one sampling round.
+// regionState is the shared state of one sampling round. A detached round
+// (one sampling process run by a remote worker via DetachedRunner) uses a
+// stripped-down regionState with t == nil and det set; every field the
+// sample hot path touches is present in both configurations.
 type regionState struct {
-	t      *Tuner
-	spec   RegionSpec
-	seed   int64
-	n      int            // sample groups
-	k      int            // folds per group (1 without CV)
-	shape  *regionShape   // per-region-name symbols + SP pool
-	syms   *store.Symbols // == shape.syms; the region's interned names
-	store  *store.Agg
-	incs   map[string]agg.Incremental
-	shared []*svgShared // per-group shared draws under CV
-	ro     *regionObs   // nil when observability is off
+	t       *Tuner
+	spec    RegionSpec
+	seed    int64
+	n       int            // sample groups
+	k       int            // folds per group (1 without CV)
+	shape   *regionShape   // per-region-name symbols + SP pool
+	syms    *store.Symbols // == shape.syms; the region's interned names
+	exposed *store.Exposed // the store SP.Load reads (the tuner's, or a shipped snapshot)
+	store   *store.Agg
+	incs    map[string]agg.Incremental
+	shared  []*svgShared   // per-group shared draws under CV
+	ro      *regionObs     // nil when observability is off
+	det     *detachedState // non-nil only for detached (worker-side) runs
+	fb      []strategy.Feedback
+	owner   *P  // tuning process running the round; receives its feedback
+	execH   any // executor round handle; non-nil routes launches remotely
 
 	// Per-round launch state, fixed before the first worker starts; workers
 	// read them so launching a sample needs no closure allocation.
@@ -330,6 +338,7 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 		errs:       make([]error, n),
 		total:      n * k,
 	}
+	rs.exposed = t.exposed
 	rs.ctx = ctx
 	rs.body = body
 	for x, kind := range spec.Aggregate {
@@ -363,7 +372,34 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 		go rs.drainRing()
 	}
 
-	fb := t.feedbackFor(spec.Name, spec.Minimize)
+	fb := p.feedbackFor(spec.Name, spec.Minimize)
+	rs.fb = fb
+	rs.owner = p
+
+	// Route the round through the configured executor when possible.
+	// Cross-validation groups share draws fold-to-fold, so they stay local;
+	// a region the executor declined once (BeginRound error, or a body that
+	// turned out to use Sync) is skipped for the rest of the run.
+	if ex := t.opts.Executor; ex != nil && k == 1 {
+		if _, skip := t.execSkip.Load(spec.Name); !skip {
+			h, err := ex.BeginRound(RoundTask{
+				Region:   spec.Name,
+				Seed:     rs.seed,
+				Round:    round,
+				N:        n,
+				Feedback: fb,
+				Spec:     spec,
+				Body:     body,
+				Exposed:  t.exposed,
+			})
+			if err != nil {
+				t.execSkip.Store(spec.Name, struct{}{})
+			} else {
+				rs.execH = h
+				defer ex.EndRound(h)
+			}
+		}
+	}
 
 launch:
 	for g := 0; g < n; g++ {
@@ -381,7 +417,13 @@ launch:
 			rs.barrier.maybeRelease()
 			break launch
 		}
-		sampler := spec.Strategy.Sampler(rs.seed, g, n, fb)
+		var sampler strategy.Sampler
+		if rs.execH == nil {
+			// A dispatched sample's worker rebuilds this sampler from
+			// (seed, g, n, fb) — Sampler is a pure function of them, so the
+			// remote draws match these bit for bit.
+			sampler = spec.Strategy.Sampler(rs.seed, g, n, fb)
+		}
 		for f := 0; f < k; f++ {
 			if err := t.sched.AcquireCtx(ctx, sched.SpawnS, n-g); err != nil {
 				// The region budget (or the caller's context) expired while
@@ -403,7 +445,11 @@ launch:
 			rs.launched++
 			rs.mu.Unlock()
 			rs.wg.Add(1)
-			go rs.worker(g, f, sampler)
+			if rs.execH != nil {
+				go rs.remoteWorker(g)
+			} else {
+				go rs.worker(g, f, sampler)
+			}
 		}
 	}
 	rs.wg.Wait()
@@ -439,7 +485,7 @@ func (rs *regionState) finish() (*Result, error) {
 			fb = append(fb, strategy.Feedback{Params: rs.paramMap(g), Score: scores[g]})
 		}
 	}
-	rs.t.addFeedback(rs.spec.Name, fb, rs.spec.Minimize)
+	rs.owner.addFeedback(rs.spec.Name, fb)
 
 	// Memory metric: values retained in the store, aggregator state, and
 	// the ring's high-water mark of in-flight results.

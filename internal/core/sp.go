@@ -24,6 +24,13 @@ type prunePanic struct{}
 // it never escapes the runtime.
 type abandonPanic struct{}
 
+// noSyncPanic unwinds a detached sampling process (one run by a remote
+// worker) that reached a Sync barrier: the rendezvous needs the whole region
+// co-resident, so the sample reports ExecResult.Unsupported and re-runs on
+// the in-process path. Local processes always have a barrier, so this can
+// only fire in detached runs.
+type noSyncPanic struct{}
+
 // spSlot tracks ownership of one Algorithm 1 pool slot across the attempts
 // of one (group, fold) worker. Sync hands the slot back around the barrier,
 // and the timeout monitor releases it when abandoning a wedged attempt — the
@@ -274,8 +281,19 @@ func (sp *SP) Check(ok bool) {
 func (sp *SP) CheckFn(fn func() bool) { sp.Check(fn()) }
 
 // Work accounts units of computation performed by this sampling process;
-// sampling-process work is parallelizable across the pool.
-func (sp *SP) Work(units float64) { sp.rs.t.addWork(units, true) }
+// sampling-process work is parallelizable across the pool. A detached
+// process accumulates locally — quantized per call exactly like the tuner
+// does — and its total ships home with the sample result.
+func (sp *SP) Work(units float64) {
+	if units < 0 {
+		panic("core: negative work")
+	}
+	if det := sp.rs.det; det != nil {
+		det.workMilli.Add(int64(units * 1024))
+		return
+	}
+	sp.rs.t.addWork(units, true)
+}
 
 // Load reads an exposed global-scope variable from inside a sampling
 // process; the exposed store is shared with the tuning process. Loaded
@@ -283,7 +301,7 @@ func (sp *SP) Work(units float64) { sp.rs.t.addWork(units, true) }
 // a kernel loop re-reading its inputs costs one atomic load per read
 // instead of a store lock round-trip.
 func (sp *SP) Load(name string) any {
-	e := sp.rs.t.exposed
+	e := sp.rs.exposed
 	if ver := e.Version(); ver != sp.lver {
 		sp.resetLoadCache()
 		sp.lver = ver
@@ -296,7 +314,7 @@ func (sp *SP) Load(name string) any {
 
 // loadSlow is the cache-miss path: read the store and remember the value.
 func (sp *SP) loadSlow(name string) any {
-	v := sp.rs.t.exposed.MustGet(globalScope, name)
+	v := sp.rs.exposed.MustGet(globalScope, name)
 	id := sp.rs.syms.Intern(name)
 	if n := sp.rs.syms.Len(); len(sp.lset) < n {
 		sp.lvals = append(sp.lvals, make([]any, n-len(sp.lvals))...)
@@ -362,6 +380,11 @@ func (sp *SP) reset() {
 func (sp *SP) Sync(cb func(v *SyncView)) {
 	if sp.isAbandoned() {
 		panic(abandonPanic{})
+	}
+	if sp.rs.barrier == nil {
+		// Detached process: the barrier lives with the dispatching tuner, so
+		// this sample cannot run here at all. Unwind and report Unsupported.
+		panic(noSyncPanic{})
 	}
 	t := sp.rs.t
 	sp.atBarrier.Store(true)
@@ -483,13 +506,15 @@ func (rs *regionState) invokeBody(sp *SP, body func(sp *SP) error) (bodyErr erro
 			switch r.(type) {
 			case prunePanic:
 				sp.pruned = true
-				rs.t.ctr.pruned.Add(1)
+				rs.countPruned()
 			case abandonPanic:
 				panic(r)
+			case noSyncPanic:
+				rs.det.noSync = true
 			default:
 				bodyErr = fmt.Errorf("core: sampling process (sample %d, fold %d) panicked: %v\n%s",
 					sp.group, sp.fold, r, debug.Stack())
-				rs.t.ctr.panics.Add(1)
+				rs.countPanic()
 			}
 		}
 	}()

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network fault injection for the distributed executor's chaos tests. A
+// NetInjector wraps net.Conn so that each Write — one protocol frame, since
+// the wire layer writes whole frames in a single call — may be dropped
+// (discarded but reported written: a lossy link eating a frame), delayed
+// (a congested link), or cut (the connection closed mid-stream: a network
+// partition). The decision for write i on connection name is a pure
+// function of (seed, name, i), so a chaos schedule replays identically.
+
+// NetKind classifies an injected network fault.
+type NetKind int
+
+// Network fault kinds. NetNone means the write proceeds normally.
+const (
+	NetNone NetKind = iota
+	// NetDrop discards the whole Write but reports it as written.
+	NetDrop
+	// NetDelay sleeps before the write goes out.
+	NetDelay
+	// NetCut closes the connection; the write and everything after fail.
+	NetCut
+)
+
+// NetConfig sets the per-write probability of each network fault kind.
+// Rates are independent masses in [0, 1]; their sum must not exceed 1.
+type NetConfig struct {
+	DropRate  float64
+	DelayRate float64
+	CutRate   float64
+	// MaxDelay bounds NetDelay faults; zero means 2ms.
+	MaxDelay time.Duration
+}
+
+func (c NetConfig) total() float64 { return c.DropRate + c.DelayRate + c.CutRate }
+
+// NetInjector decides network faults deterministically from a seed. Safe
+// for concurrent use.
+type NetInjector struct {
+	seed uint64
+	cfg  NetConfig
+}
+
+// NewNet returns a network fault injector.
+func NewNet(seed int64, cfg NetConfig) *NetInjector {
+	if t := cfg.total(); t > 1 {
+		panic("faultinject: network fault rates sum above 1")
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &NetInjector{seed: uint64(seed), cfg: cfg}
+}
+
+// AtWrite returns the fault for the i-th write on the named connection — a
+// pure function of (seed, name, i).
+func (in *NetInjector) AtWrite(name string, i uint64) NetKind {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	u := frac(mix(in.seed, mix(h.Sum64(), i)))
+	switch c := in.cfg; {
+	case u < c.DropRate:
+		return NetDrop
+	case u < c.DropRate+c.DelayRate:
+		return NetDelay
+	case u < c.total():
+		return NetCut
+	default:
+		return NetNone
+	}
+}
+
+// Conn wraps c with fault injection on its write side. The name keys the
+// deterministic schedule; wrap each end of a pipe with a distinct name.
+func (in *NetInjector) Conn(c net.Conn, name string) net.Conn {
+	return &faultyConn{Conn: c, in: in, name: name}
+}
+
+type faultyConn struct {
+	net.Conn
+	in   *NetInjector
+	name string
+
+	n   atomic.Uint64 // write index
+	cut atomic.Bool
+
+	mu sync.Mutex // serializes injected close against in-flight writes
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	i := c.n.Add(1) - 1
+	switch c.in.AtWrite(c.name, i) {
+	case NetDrop:
+		return len(p), nil
+	case NetDelay:
+		d := time.Duration(frac(mix(c.in.seed, i^0xde1a)) * float64(c.in.cfg.MaxDelay))
+		time.Sleep(d)
+	case NetCut:
+		c.mu.Lock()
+		c.cut.Store(true)
+		c.Conn.Close()
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// WasCut reports whether an injected NetCut closed the connection, so tests
+// can tell an injected partition from a real failure.
+func (c *faultyConn) WasCut() bool { return c.cut.Load() }

@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNetScheduleDeterministic(t *testing.T) {
+	cfg := NetConfig{DropRate: 0.2, DelayRate: 0.2, CutRate: 0.1}
+	a := NewNet(42, cfg)
+	b := NewNet(42, cfg)
+	seen := map[NetKind]int{}
+	for i := uint64(0); i < 500; i++ {
+		ka := a.AtWrite("conn", i)
+		if kb := b.AtWrite("conn", i); ka != kb {
+			t.Fatalf("write %d: %v vs %v from equal seeds", i, ka, kb)
+		}
+		seen[ka]++
+	}
+	for _, k := range []NetKind{NetNone, NetDrop, NetDelay, NetCut} {
+		if seen[k] == 0 {
+			t.Fatalf("kind %v never drawn in 500 writes: %v", k, seen)
+		}
+	}
+	if other := NewNet(43, cfg); func() bool {
+		for i := uint64(0); i < 500; i++ {
+			if other.AtWrite("conn", i) != a.AtWrite("conn", i) {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestNetRatesValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rates summing above 1 accepted")
+		}
+	}()
+	NewNet(1, NetConfig{DropRate: 0.6, CutRate: 0.6})
+}
+
+// TestNetConnFaults drives a wrapped pipe: drops must lose whole writes
+// while reporting success, and a cut must close the connection.
+func TestNetConnFaults(t *testing.T) {
+	// All drops: the reader sees nothing, writers see success.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	drop := NewNet(5, NetConfig{DropRate: 1}).Conn(a, "w")
+	for i := 0; i < 3; i++ {
+		n, err := drop.Write([]byte("frame"))
+		if n != 5 || err != nil {
+			t.Fatalf("dropped write: n=%d err=%v", n, err)
+		}
+	}
+	b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if n, err := b.Read(make([]byte, 16)); err == nil {
+		t.Fatalf("read %d bytes through an all-drop link", n)
+	}
+
+	// All cuts: the first write severs the connection.
+	c, d := net.Pipe()
+	defer d.Close()
+	cut := NewNet(5, NetConfig{CutRate: 1}).Conn(c, "w")
+	if _, err := cut.Write([]byte("frame")); err == nil {
+		t.Fatal("write succeeded through a cut connection")
+	}
+	if fc, ok := cut.(interface{ WasCut() bool }); !ok || !fc.WasCut() {
+		t.Fatal("cut not recorded")
+	}
+	if _, err := d.Read(make([]byte, 16)); err == nil {
+		t.Fatal("peer read succeeded after cut")
+	}
+}

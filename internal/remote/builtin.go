@@ -1,0 +1,56 @@
+package remote
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// SyntheticRegion is the name of the built-in benchmark region every
+// wbtune-worker process registers. It models the paper's workloads at the
+// runtime level: each sampling process draws two parameters, loads shared
+// @expose state (exercising snapshot shipping), burns a fixed wall-clock
+// service time (simulated compute, meaningful even on one CPU), and commits
+// a scored result — so the worker-scaling benchmark measures dispatch,
+// steal, and streaming overhead rather than arithmetic throughput.
+const SyntheticRegion = "builtin/synthetic"
+
+// SyntheticServiceKey is the exposed global variable (int, microseconds)
+// that sets the synthetic region's per-sample service time. Expose it from
+// the tuning process before entering the region.
+const SyntheticServiceKey = "serviceMicros"
+
+// SyntheticSpec returns the spec and body of the built-in synthetic region.
+// Dispatcher and workers must agree on both, so each side obtains them from
+// this one function.
+func SyntheticSpec(samples int) (core.RegionSpec, func(sp *core.SP) error) {
+	spec := core.RegionSpec{
+		Name:    SyntheticRegion,
+		Samples: samples,
+		Score: func(sp *core.SP) float64 {
+			return sp.MustGet("f").(float64)
+		},
+	}
+	body := func(sp *core.SP) error {
+		micros := sp.Load(SyntheticServiceKey).(int)
+		x := sp.Float("x", dist.Uniform(-2, 2))
+		y := sp.Float("y", dist.Uniform(-2, 2))
+		if micros > 0 {
+			time.Sleep(time.Duration(micros) * time.Microsecond)
+		}
+		sp.Work(1)
+		sp.Commit("f", -(x-0.3)*(x-0.3)-(y-0.7)*(y-0.7))
+		return nil
+	}
+	return spec, body
+}
+
+// Builtins returns a registry pre-populated with every built-in region;
+// cmd/wbtune-worker serves it.
+func Builtins() *Registry {
+	r := NewRegistry()
+	spec, body := SyntheticSpec(0)
+	r.Register(SyntheticRegion, spec, body)
+	return r
+}

@@ -1,0 +1,94 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// TestChaosNetworkFaults runs tuning through a fleet whose first worker sits
+// behind a lossy, laggy, partition-prone link: dispatcher-to-worker frames
+// are dropped whole (writeFrame's single Write makes a dropped write lose
+// exactly one frame, so the stream stays parseable), delayed, or the
+// connection is cut mid-run. The run must always complete: lost task frames
+// time out and are committed as timeout outcomes, lost snapshot/round frames
+// bounce as retryable errors, and a cut link fails the worker so its samples
+// reassign to the healthy one.
+func TestChaosNetworkFaults(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	for _, seed := range []int64{1, 7, 1234} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := faultinject.NewNet(seed, faultinject.NetConfig{
+				DropRate:  0.06,
+				DelayRate: 0.10,
+				CutRate:   0.01,
+				MaxDelay:  2 * time.Millisecond,
+			})
+			reg := NewRegistry()
+			ex := NewExecutor(ExecutorOptions{Registry: reg, Dynamic: true})
+			var workers []*Worker
+			for i := 0; i < 2; i++ {
+				w := NewWorker(WorkerOptions{Name: fmt.Sprintf("w%d", i), Slots: 2, Registry: reg})
+				a, b := net.Pipe()
+				if i == 0 {
+					b = inj.Conn(b, "dispatcher->w0")
+				}
+				go w.ServeConn(a)
+				if err := ex.AddConn(b); err != nil {
+					t.Fatalf("AddConn: %v", err)
+				}
+				workers = append(workers, w)
+			}
+			t.Cleanup(func() {
+				ex.Close()
+				for _, w := range workers {
+					w.Close()
+				}
+			})
+
+			tuner := core.New(core.Options{
+				MaxPool: 4, Seed: seed, Executor: ex,
+				Fault: core.FaultPolicy{
+					SampleTimeout: 300 * time.Millisecond,
+					MaxAttempts:   3,
+					Backoff:       time.Millisecond,
+				},
+			})
+			err := tuner.Run(func(p *core.P) error {
+				p.Expose("bias", 1.0)
+				for r := 0; r < 3; r++ {
+					res, err := p.Region(core.RegionSpec{
+						Name: fmt.Sprintf("chaos%d", r), Samples: 12,
+					}, func(sp *core.SP) error {
+						x := sp.Float("x", dist.Uniform(0, 1))
+						sp.Commit("v", x+sp.Load("bias").(float64))
+						return nil
+					})
+					if err != nil {
+						return fmt.Errorf("round %d: %w", r, err)
+					}
+					if res.N() != 12 {
+						return fmt.Errorf("round %d: N=%d", r, res.N())
+					}
+					// Every sample either committed, failed, or timed out —
+					// none may vanish.
+					for g := 0; g < res.N(); g++ {
+						if _, ok := res.Value("v", g); !ok && res.Err(g) == nil && !res.Pruned(g) {
+							return fmt.Errorf("round %d sample %d vanished", r, g)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,537 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// helloTimeout bounds how long AddConn waits for a worker's hello frame.
+const helloTimeout = 10 * time.Second
+
+// ExecutorOptions configure a NetExecutor.
+type ExecutorOptions struct {
+	// Registry names the regions workers can run. A region whose name is
+	// registered ships as a name; with Dynamic set, unregistered regions
+	// ship under a per-round dynamic key instead. Required.
+	Registry *Registry
+	// Dynamic publishes unregistered region bodies in the shared Registry
+	// under per-round keys. Only workers sharing this process's Registry
+	// pointer (loopback workers) can resolve them; leave false for a fleet
+	// of separate worker processes, where unregistered regions should fall
+	// back to the local path.
+	Dynamic bool
+	// Values is the shared opaque-value table for same-process workers.
+	Values *ValueTable
+	// Obs, when non-nil, receives the per-worker dispatch metrics.
+	Obs *obs.Registry
+}
+
+// NetExecutor implements core.Executor over a fleet of worker connections.
+//
+// Scheduling is pull-based work stealing: Execute appends the sample to one
+// shared FIFO queue, and every worker connection runs a pump goroutine that
+// claims the queue head whenever the worker has a free slot — so a fast or
+// idle worker naturally takes work a slow one has not claimed, with no
+// per-worker queues to balance. A worker that dies (read error, protocol
+// violation) fails its in-flight samples with a retryable error; core's
+// FaultPolicy retry machinery re-executes them, the re-dispatch lands on a
+// surviving worker, and the seeded sampler makes the replay draw exactly
+// what the lost attempt drew. When no workers remain, Execute reports
+// ErrExecUnsupported and the tuner finishes the run in-process.
+type NetExecutor struct {
+	opts ExecutorOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   []*dworker
+	queue     []*call
+	nextCall  uint64
+	nextRound uint64
+	closed    bool
+
+	snapMu    sync.Mutex
+	snapStore *store.Exposed
+	snapVer   uint64
+	snapData  []byte
+	snapHash  uint64
+}
+
+// NewExecutor returns an executor with no workers; add them with AddConn or
+// Dial before handing it to core.Options.Executor.
+func NewExecutor(opts ExecutorOptions) *NetExecutor {
+	if opts.Registry == nil {
+		panic("remote: ExecutorOptions.Registry is required")
+	}
+	ex := &NetExecutor{opts: opts}
+	ex.cond = sync.NewCond(&ex.mu)
+	return ex
+}
+
+// dworker is the dispatcher's view of one worker connection.
+type dworker struct {
+	ex    *NetExecutor
+	c     net.Conn
+	name  string
+	slots int
+	m     *workerMetrics
+
+	wmu        sync.Mutex // serializes whole frames onto c
+	sentSnaps  map[uint64]bool
+	sentRounds map[uint64]bool
+
+	// Guarded by ex.mu.
+	inflight map[uint64]*call
+	dead     bool
+	draining bool
+}
+
+// call is one Execute invocation in flight.
+type call struct {
+	id      uint64
+	r       *roundState
+	group   int
+	attempt int
+	done    chan callOutcome // buffered 1
+
+	enq  time.Time
+	sent time.Time
+
+	// Guarded by ex.mu.
+	worker    *dworker
+	delivered bool
+	abandoned bool
+}
+
+type callOutcome struct {
+	res core.ExecResult
+	err error
+}
+
+// roundState is the executor's BeginRound handle.
+type roundState struct {
+	id       uint64
+	dyn      uint64
+	payload  []byte // encoded round frame
+	snapHash uint64
+	snapData []byte
+}
+
+// Dial connects to a worker's TCP listen address and adds it to the fleet.
+func (ex *NetExecutor) Dial(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := ex.AddConn(c); err != nil {
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+// AddConn adds one worker connection to the fleet. It performs the hello
+// handshake synchronously (bounded by helloTimeout) and then starts the
+// connection's pump and reader.
+func (ex *NetExecutor) AddConn(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(helloTimeout))
+	payload, err := readFrame(conn, nil)
+	if err != nil {
+		return fmt.Errorf("remote: worker hello: %w", err)
+	}
+	if len(payload) == 0 || payload[0] != mHello {
+		return fmt.Errorf("%w: expected hello frame", errCodec)
+	}
+	hello, err := decodeHello(payload[1:])
+	if err != nil {
+		return err
+	}
+	if hello.Version != protocolVersion {
+		return fmt.Errorf("remote: protocol version mismatch: worker %d, dispatcher %d",
+			hello.Version, protocolVersion)
+	}
+	if hello.Slots < 1 {
+		return fmt.Errorf("%w: worker advertises no slots", errCodec)
+	}
+	conn.SetDeadline(time.Time{})
+
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return fmt.Errorf("remote: executor closed")
+	}
+	name := hello.Name
+	for _, w := range ex.workers {
+		if w.name == name {
+			name = fmt.Sprintf("%s-%d", hello.Name, len(ex.workers))
+		}
+	}
+	m := newWorkerMetrics(ex.opts.Obs, name)
+	w := &dworker{
+		ex:         ex,
+		c:          &countingConn{Conn: conn, m: m},
+		name:       name,
+		slots:      hello.Slots,
+		m:          m,
+		sentSnaps:  make(map[uint64]bool),
+		sentRounds: make(map[uint64]bool),
+		inflight:   make(map[uint64]*call),
+	}
+	ex.workers = append(ex.workers, w)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+
+	go w.pump()
+	go w.readLoop()
+	return nil
+}
+
+// liveLocked counts workers accepting new samples. Callers hold ex.mu.
+func (ex *NetExecutor) liveLocked() int {
+	n := 0
+	for _, w := range ex.workers {
+		if !w.dead && !w.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity sums the slots of live workers; the tuner adds it to the
+// Algorithm 1 sampling bound.
+func (ex *NetExecutor) Capacity() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	n := 0
+	for _, w := range ex.workers {
+		if !w.dead && !w.draining {
+			n += w.slots
+		}
+	}
+	return n
+}
+
+// snapshotFor encodes (or reuses) the snapshot of the tuner's exposed
+// store, cached by the store's version counter so unchanged @load state is
+// encoded once per version, not once per round.
+func (ex *NetExecutor) snapshotFor(e *store.Exposed) ([]byte, uint64, error) {
+	if e == nil || e.Len() == 0 {
+		return nil, 0, nil
+	}
+	ex.snapMu.Lock()
+	defer ex.snapMu.Unlock()
+	ver := e.Version()
+	if ex.snapStore == e && ex.snapVer == ver && ex.snapData != nil {
+		return ex.snapData, ex.snapHash, nil
+	}
+	data, hash, err := encodeSnapshot(e, ex.opts.Values)
+	if err != nil {
+		return nil, 0, err
+	}
+	ex.snapStore, ex.snapVer, ex.snapData, ex.snapHash = e, ver, data, hash
+	return data, hash, nil
+}
+
+// BeginRound prepares one sampling round for dispatch: resolve or publish
+// the region's registration, encode the exposed-store snapshot, and encode
+// the round recipe every participating worker will receive once.
+func (ex *NetExecutor) BeginRound(r core.RoundTask) (any, error) {
+	ex.mu.Lock()
+	live := ex.liveLocked()
+	closed := ex.closed
+	ex.mu.Unlock()
+	if closed || live == 0 {
+		return nil, core.ErrExecUnsupported
+	}
+	dyn := uint64(0)
+	if _, ok := ex.opts.Registry.Named(r.Region); !ok {
+		if !ex.opts.Dynamic || r.Body == nil {
+			return nil, core.ErrExecUnsupported
+		}
+		dyn = ex.opts.Registry.registerDynamic(Registration{Spec: r.Spec, Body: r.Body})
+	}
+	data, hash, err := ex.snapshotFor(r.Exposed)
+	if err != nil {
+		if dyn != 0 {
+			ex.opts.Registry.releaseDynamic(dyn)
+		}
+		return nil, fmt.Errorf("%w: %v", core.ErrExecUnsupported, err)
+	}
+	ex.mu.Lock()
+	ex.nextRound++
+	id := ex.nextRound
+	ex.mu.Unlock()
+	rs := &roundState{id: id, dyn: dyn, snapHash: hash, snapData: data}
+	rs.payload = encodeRound(roundMsg{
+		ID:       id,
+		Region:   r.Region,
+		Dyn:      dyn,
+		Seed:     r.Seed,
+		Round:    r.Round,
+		N:        r.N,
+		SnapHash: hash,
+		Feedback: r.Feedback,
+	})
+	return rs, nil
+}
+
+// EndRound retires a round: workers drop their round state and a dynamic
+// registration is unpublished.
+func (ex *NetExecutor) EndRound(handle any) {
+	rs, ok := handle.(*roundState)
+	if !ok {
+		return
+	}
+	ex.mu.Lock()
+	workers := make([]*dworker, 0, len(ex.workers))
+	for _, w := range ex.workers {
+		if !w.dead {
+			workers = append(workers, w)
+		}
+	}
+	ex.mu.Unlock()
+	payload := encodeEndRound(rs.id)
+	for _, w := range workers {
+		w.wmu.Lock()
+		if w.sentRounds[rs.id] {
+			delete(w.sentRounds, rs.id)
+			writeFrame(w.c, payload)
+		}
+		w.wmu.Unlock()
+	}
+	if rs.dyn != 0 {
+		ex.opts.Registry.releaseDynamic(rs.dyn)
+	}
+}
+
+// Execute queues one sampling-process attempt and blocks until a worker
+// returns its result, the context expires, or the fleet is gone.
+func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt int) (core.ExecResult, error) {
+	rs, ok := handle.(*roundState)
+	if !ok {
+		return core.ExecResult{}, core.ErrExecUnsupported
+	}
+	c := &call{r: rs, group: group, attempt: attempt, done: make(chan callOutcome, 1), enq: time.Now()}
+	ex.mu.Lock()
+	if ex.closed || ex.liveLocked() == 0 {
+		ex.mu.Unlock()
+		return core.ExecResult{}, core.ErrExecUnsupported
+	}
+	ex.nextCall++
+	c.id = ex.nextCall
+	ex.queue = append(ex.queue, c)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+
+	select {
+	case out := <-c.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		ex.mu.Lock()
+		for i, qc := range ex.queue {
+			if qc == c {
+				ex.queue = append(ex.queue[:i], ex.queue[i+1:]...)
+				break
+			}
+		}
+		// If a worker already claimed the call, its eventual result is
+		// discarded on arrival; the worker slot frees itself then.
+		c.abandoned = true
+		ex.mu.Unlock()
+		select {
+		case out := <-c.done: // result raced the cancellation: keep it
+			return out.res, out.err
+		default:
+		}
+		return core.ExecResult{}, ctx.Err()
+	}
+}
+
+// pump is a worker connection's stealing loop: whenever the worker has a
+// free slot and the shared queue is non-empty, claim the head and ship it.
+func (w *dworker) pump() {
+	ex := w.ex
+	for {
+		ex.mu.Lock()
+		for !w.dead && !w.draining && !ex.closed && (len(ex.queue) == 0 || len(w.inflight) >= w.slots) {
+			ex.cond.Wait()
+		}
+		if w.dead || w.draining || ex.closed {
+			ex.mu.Unlock()
+			return
+		}
+		c := ex.queue[0]
+		ex.queue = ex.queue[1:]
+		w.inflight[c.id] = c
+		c.worker = w
+		c.sent = time.Now()
+		w.m.setInflight(len(w.inflight))
+		ex.mu.Unlock()
+		w.m.observeDispatch(c.enq, c.sent)
+		if err := w.ship(c); err != nil {
+			ex.fail(w, err)
+			return
+		}
+	}
+}
+
+// ship writes (at most) three frames for one claimed call: the snapshot if
+// this worker has not seen this content hash, the round recipe if it has
+// not seen this round, and the task itself.
+func (w *dworker) ship(c *call) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	rs := c.r
+	if rs.snapData != nil && !w.sentSnaps[rs.snapHash] {
+		if w.m != nil {
+			w.m.snapMisses.Inc()
+		}
+		wb := &wbuf{}
+		wb.byte(mSnapshot)
+		wb.u64(rs.snapHash)
+		wb.b = append(wb.b, rs.snapData...)
+		if err := writeFrame(w.c, wb.b); err != nil {
+			return err
+		}
+		w.sentSnaps[rs.snapHash] = true
+	} else if rs.snapData != nil {
+		if w.m != nil {
+			w.m.snapHits.Inc()
+		}
+	}
+	if !w.sentRounds[rs.id] {
+		if err := writeFrame(w.c, rs.payload); err != nil {
+			return err
+		}
+		w.sentRounds[rs.id] = true
+	}
+	return writeFrame(w.c, encodeTask(taskMsg{ID: c.id, Round: rs.id, Group: c.group, Attempt: c.attempt}))
+}
+
+// readLoop consumes worker frames: result batches, the drain announcement,
+// and the goodbye. Any error fails the worker.
+func (w *dworker) readLoop() {
+	ex := w.ex
+	var buf []byte
+	for {
+		payload, err := readFrame(w.c, buf)
+		if err != nil {
+			ex.fail(w, err)
+			return
+		}
+		buf = payload
+		if len(payload) == 0 {
+			ex.fail(w, errCodec)
+			return
+		}
+		switch payload[0] {
+		case mResults:
+			batch, err := decodeResults(payload[1:], ex.opts.Values)
+			if err != nil {
+				ex.fail(w, err)
+				return
+			}
+			for _, m := range batch {
+				ex.deliver(w, m)
+			}
+		case mDrain:
+			ex.mu.Lock()
+			w.draining = true
+			ex.cond.Broadcast() // release the pump; in-flight results still arrive
+			ex.mu.Unlock()
+		case mBye:
+			ex.fail(w, errWorkerBye)
+			return
+		default:
+			ex.fail(w, fmt.Errorf("%w: unexpected frame type %d", errCodec, payload[0]))
+			return
+		}
+	}
+}
+
+var errWorkerBye = fmt.Errorf("remote: worker drained and disconnected")
+
+// deliver hands one result to its waiting Execute call and frees the slot.
+func (ex *NetExecutor) deliver(w *dworker, m resultMsg) {
+	ex.mu.Lock()
+	c, ok := w.inflight[m.ID]
+	if ok {
+		delete(w.inflight, m.ID)
+		w.m.setInflight(len(w.inflight))
+	}
+	var send bool
+	if ok && !c.delivered && !c.abandoned {
+		c.delivered = true
+		send = true
+	}
+	ex.cond.Broadcast() // a slot freed; pumps re-check the queue
+	ex.mu.Unlock()
+	if send {
+		w.m.observeRPC(c.sent)
+		c.done <- callOutcome{res: m.Res}
+	}
+}
+
+// fail marks a worker dead and bounces its in-flight samples back through
+// the retry machinery as retryable failures.
+func (ex *NetExecutor) fail(w *dworker, cause error) {
+	ex.mu.Lock()
+	if w.dead {
+		ex.mu.Unlock()
+		return
+	}
+	w.dead = true
+	orphans := make([]*call, 0, len(w.inflight))
+	for id, c := range w.inflight {
+		delete(w.inflight, id)
+		if !c.delivered && !c.abandoned {
+			c.delivered = true
+			orphans = append(orphans, c)
+		}
+	}
+	w.m.setInflight(0)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+
+	if w.m != nil && cause != errWorkerBye {
+		w.m.failures.Inc()
+	}
+	w.c.Close()
+	for _, c := range orphans {
+		c.done <- callOutcome{err: core.Transient(fmt.Errorf(
+			"remote: worker %s lost with sample in flight: %w", w.name, cause))}
+	}
+}
+
+// Close tears the executor down: every connection closes, queued and
+// in-flight calls fail over to the local path.
+func (ex *NetExecutor) Close() {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	ex.closed = true
+	workers := append([]*dworker(nil), ex.workers...)
+	queued := ex.queue
+	ex.queue = nil
+	for _, c := range queued {
+		if !c.delivered && !c.abandoned {
+			c.delivered = true
+		}
+	}
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+	for _, c := range queued {
+		c.done <- callOutcome{err: core.ErrExecUnsupported}
+	}
+	for _, w := range workers {
+		ex.fail(w, fmt.Errorf("remote: executor closed"))
+	}
+}

@@ -1,0 +1,71 @@
+// Package remote implements the distributed sampling executor: a network
+// dispatcher (NetExecutor) that satisfies core.Executor by shipping sampling
+// processes to a fleet of worker processes (Worker, cmd/wbtune-worker) over
+// a length-prefixed binary protocol on TCP.
+//
+// The layering borrows from store-and-forward messaging systems: a small
+// self-delimiting frame layer, typed messages on top, and batched result
+// delivery so a worker's finished samples ride home together. The paper's
+// load-once reuse of @load state extends across the wire as content-hashed
+// snapshots of the exposed store, shipped to each worker at most once per
+// content version and cached there. Work distribution is pull-based: each
+// worker connection takes a queued sampling process whenever it has a free
+// slot, so an idle worker steals work a busy one has not claimed, and a dead
+// worker's in-flight samples re-enter the queue through the core retry
+// machinery (seeded samplers make the replay bit-identical wherever it
+// lands).
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds one frame's payload. Snapshots dominate frame size; 64MiB
+// comfortably holds every benchmark's exposed store while keeping a
+// malformed length prefix from looking like an allocation request.
+const maxFrame = 64 << 20
+
+// errFrameTooBig reports a length prefix beyond maxFrame — a corrupt or
+// hostile peer, never a legitimate frame.
+var errFrameTooBig = errors.New("remote: frame exceeds size limit")
+
+// writeFrame writes one frame: a 4-byte big-endian payload length, then the
+// payload, in a single Write call so a fault-injected dropped write loses a
+// whole frame and the stream stays parseable.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return errFrameTooBig
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame payload, reusing buf when it is large enough.
+// It returns io.EOF only on a clean frame boundary.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("remote: truncated frame: %w", err)
+	}
+	return buf, nil
+}

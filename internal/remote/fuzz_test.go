@@ -1,0 +1,139 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/strategy"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes through the wire stack exactly as a
+// connection read loop would: split the stream into length-prefixed frames,
+// then decode each payload with the message decoder its type byte selects.
+// Nothing may panic or allocate unboundedly — malformed length prefixes,
+// truncated snapshots, hostile collection counts, and overlong varints must
+// all come back as errors. For payloads that do decode, the decoded message
+// must survive a re-encode/re-decode round trip unchanged (compared on
+// printed form, which tolerates non-canonical varints and NaN scores in the
+// fuzz input).
+func FuzzFrameDecode(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		b := make([]byte, 4+len(payload))
+		binary.BigEndian.PutUint32(b, uint32(len(payload)))
+		copy(b[4:], payload)
+		return b
+	}
+	f.Add(frame(encodeHello(helloMsg{Version: 1, Name: "w", Slots: 4})))
+	f.Add(frame(encodeRound(roundMsg{ID: 1, Region: "r", Seed: -7, Round: 1, N: 8,
+		SnapHash: 0xabcdef, Feedback: []strategy.Feedback{{Score: 2, Params: map[string]float64{"x": 1}}}})))
+	f.Add(frame(encodeTask(taskMsg{ID: 3, Round: 1, Group: 2, Attempt: 1})))
+	if b, err := encodeResults([]resultMsg{{ID: 9, Res: core.ExecResult{
+		Params:  []core.ParamKV{{Name: "x", Value: 0.5}},
+		Commits: []core.CommitKV{{Name: "y", Value: 1.5}, {Name: "s", Value: "z"}},
+		Scored:  true, Score: 1.5, WorkMilli: 2048,
+	}}}, nil); err == nil {
+		f.Add(frame(b))
+	}
+	f.Add(frame(encodeEndRound(17)))
+	{
+		e := store.NewExposed()
+		e.Set("global", "k", 1.25)
+		if sb, hash, err := encodeSnapshot(e, nil); err == nil {
+			w := &wbuf{}
+			w.byte(mSnapshot)
+			w.u64(hash)
+			w.b = append(w.b, sb...)
+			f.Add(frame(w.b))
+			// Truncated snapshot: frame claims more than it carries.
+			f.Add(frame(w.b)[:len(w.b)/2])
+		}
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}) // hostile length prefix
+	f.Add([]byte{0, 0, 0, 2, mResults})            // short results payload
+	f.Add(frame([]byte{mRound, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for i := 0; i < 64; i++ {
+			payload, err := readFrame(r, buf)
+			if err != nil {
+				return
+			}
+			buf = payload
+			if len(payload) == 0 {
+				continue
+			}
+			body := payload[1:]
+			switch payload[0] {
+			case mHello:
+				if m, err := decodeHello(body); err == nil {
+					reDecode(t, "hello", m, func(b []byte) (helloMsg, error) { return decodeHello(b) }, encodeHello(m)[1:])
+				}
+			case mRound:
+				if m, err := decodeRound(body); err == nil {
+					reDecode(t, "round", m, decodeRound, encodeRound(m)[1:])
+				}
+			case mTask:
+				if m, err := decodeTask(body); err == nil {
+					reDecode(t, "task", m, decodeTask, encodeTask(m)[1:])
+				}
+			case mEndRound:
+				if id, err := decodeEndRound(body); err == nil {
+					b := encodeEndRound(id)
+					if id2, err := decodeEndRound(b[1:]); err != nil || id2 != id {
+						t.Fatalf("endround round trip: %d -> %d, %v", id, id2, err)
+					}
+				}
+			case mResults:
+				ms, err := decodeResults(body, nil)
+				if err != nil {
+					continue
+				}
+				b, err := encodeResults(ms, nil)
+				if err != nil {
+					t.Fatalf("re-encode of decoded results failed: %v", err)
+				}
+				ms2, err := decodeResults(b[1:], nil)
+				if err != nil || fmt.Sprintf("%#v", ms2) != fmt.Sprintf("%#v", ms) {
+					t.Fatalf("results round trip diverged: %v", err)
+				}
+			case mSnapshot:
+				rb := &rbuf{b: body}
+				rb.u64() // content hash
+				if rb.err != nil {
+					continue
+				}
+				e, err := decodeSnapshot(rb.b, nil)
+				if err != nil {
+					continue
+				}
+				sb, _, err := encodeSnapshot(e, nil)
+				if err != nil {
+					t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+				}
+				e2, err := decodeSnapshot(sb, nil)
+				if err != nil || fmt.Sprintf("%#v", e2.Entries()) != fmt.Sprintf("%#v", e.Entries()) {
+					t.Fatalf("snapshot round trip diverged: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// reDecode re-decodes an encoded message and compares printed forms, which
+// treats NaN == NaN and ignores varint canonicality in the original input.
+func reDecode[T any](t *testing.T, kind string, orig T, dec func([]byte) (T, error), b []byte) {
+	t.Helper()
+	got, err := dec(b)
+	if err != nil {
+		t.Fatalf("%s: re-decode of re-encoded message failed: %v", kind, err)
+	}
+	if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", orig) {
+		t.Fatalf("%s round trip diverged:\n orig %#v\n got %#v", kind, orig, got)
+	}
+}

@@ -1,0 +1,108 @@
+package remote
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Dispatcher-side metric names, all labeled worker=<name>.
+const (
+	// MetricInflight gauges samples currently dispatched to a worker.
+	MetricInflight = "wbtuner_remote_inflight"
+	// MetricDispatchSeconds observes queue wait: Execute enqueue until a
+	// worker claims the sample (the steal latency).
+	MetricDispatchSeconds = "wbtuner_remote_dispatch_seconds"
+	// MetricRPCSeconds observes the wire round trip: task frame written
+	// until the result frame arrived.
+	MetricRPCSeconds = "wbtuner_remote_rpc_seconds"
+	// MetricSnapshotHits / MetricSnapshotMisses count rounds whose snapshot
+	// was already cached on the worker (hit: nothing shipped) vs shipped.
+	MetricSnapshotHits   = "wbtuner_remote_snapshot_cache_hits_total"
+	MetricSnapshotMisses = "wbtuner_remote_snapshot_cache_misses_total"
+	// MetricBytes counts frame bytes per direction (label dir=in|out).
+	MetricBytes = "wbtuner_remote_bytes_total"
+	// MetricWorkerFailures counts worker connections lost with samples
+	// reassigned.
+	MetricWorkerFailures = "wbtuner_remote_worker_failures_total"
+)
+
+// workerMetrics holds one worker's dispatcher-side instruments (nil when
+// the executor has no obs registry).
+type workerMetrics struct {
+	inflight   *obs.Gauge
+	dispatch   *obs.Histogram
+	rpc        *obs.Histogram
+	snapHits   *obs.Counter
+	snapMisses *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	failures   *obs.Counter
+}
+
+func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp(MetricInflight, "samples currently dispatched to the worker")
+	reg.SetHelp(MetricDispatchSeconds, "queue wait before a worker claimed the sample")
+	reg.SetHelp(MetricRPCSeconds, "task dispatch to result arrival round trip")
+	reg.SetHelp(MetricSnapshotHits, "rounds whose exposed-store snapshot was already cached on the worker")
+	reg.SetHelp(MetricSnapshotMisses, "exposed-store snapshots shipped to the worker")
+	reg.SetHelp(MetricBytes, "protocol bytes exchanged with the worker")
+	reg.SetHelp(MetricWorkerFailures, "worker connections lost with in-flight samples reassigned")
+	return &workerMetrics{
+		inflight:   reg.Gauge(MetricInflight, "worker", worker),
+		dispatch:   reg.Histogram(MetricDispatchSeconds, obs.DurationBuckets(), "worker", worker),
+		rpc:        reg.Histogram(MetricRPCSeconds, obs.DurationBuckets(), "worker", worker),
+		snapHits:   reg.Counter(MetricSnapshotHits, "worker", worker),
+		snapMisses: reg.Counter(MetricSnapshotMisses, "worker", worker),
+		bytesIn:    reg.Counter(MetricBytes, "worker", worker, "dir", "in"),
+		bytesOut:   reg.Counter(MetricBytes, "worker", worker, "dir", "out"),
+		failures:   reg.Counter(MetricWorkerFailures, "worker", worker),
+	}
+}
+
+func (m *workerMetrics) observeDispatch(enq, sent time.Time) {
+	if m == nil {
+		return
+	}
+	m.dispatch.Observe(sent.Sub(enq).Seconds())
+}
+
+func (m *workerMetrics) observeRPC(sent time.Time) {
+	if m == nil {
+		return
+	}
+	m.rpc.ObserveSince(sent)
+}
+
+func (m *workerMetrics) setInflight(n int) {
+	if m == nil {
+		return
+	}
+	m.inflight.Set(float64(n))
+}
+
+// countingConn counts frame bytes into the worker's byte counters.
+type countingConn struct {
+	net.Conn
+	m *workerMetrics
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.m != nil {
+		c.m.bytesIn.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 && c.m != nil {
+		c.m.bytesOut.Add(int64(n))
+	}
+	return n, err
+}

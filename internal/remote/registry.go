@@ -1,0 +1,87 @@
+package remote
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Registration couples a region spec with its body — what a worker needs to
+// reconstruct and run a sampling process of that region.
+type Registration struct {
+	Spec core.RegionSpec
+	Body func(sp *core.SP) error
+}
+
+// Registry resolves region names to runnable registrations on the worker
+// side. Two populations coexist:
+//
+//   - Named registrations, added with Register before serving: the static
+//     catalog a standalone worker process ships with (cmd/wbtune-worker
+//     registers the built-in synthetic region this way). Dispatcher and
+//     worker must register the same (spec, body) under the same name.
+//   - Dynamic registrations, added per round by a NetExecutor in Dynamic
+//     mode: the dispatcher publishes the round's actual spec and body
+//     closure under a fresh key. Only workers sharing the dispatcher's
+//     Registry pointer (loopback workers in the same process) can resolve
+//     them; they exist so tests can push arbitrary tuning programs through
+//     the full wire path.
+type Registry struct {
+	mu      sync.RWMutex
+	named   map[string]Registration
+	dyn     map[uint64]Registration
+	nextDyn uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		named: make(map[string]Registration),
+		dyn:   make(map[uint64]Registration),
+	}
+}
+
+// Register adds a named registration. Registering a name again overwrites.
+func (r *Registry) Register(name string, spec core.RegionSpec, body func(sp *core.SP) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.named[name] = Registration{Spec: spec, Body: body}
+}
+
+// Named resolves a named registration.
+func (r *Registry) Named(name string) (Registration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.named[name]
+	return reg, ok
+}
+
+// registerDynamic publishes a registration under a fresh dynamic key and
+// returns the key (never 0). The dispatcher retires it with releaseDynamic
+// when the round ends, so the registry does not grow with round count.
+func (r *Registry) registerDynamic(reg Registration) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextDyn++
+	r.dyn[r.nextDyn] = reg
+	return r.nextDyn
+}
+
+func (r *Registry) releaseDynamic(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.dyn, id)
+}
+
+// resolve returns the registration a round message names: the dynamic key
+// when set, the region name otherwise.
+func (r *Registry) resolve(m roundMsg) (Registration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if m.Dyn != 0 {
+		reg, ok := r.dyn[m.Dyn]
+		return reg, ok
+	}
+	reg, ok := r.named[m.Region]
+	return reg, ok
+}

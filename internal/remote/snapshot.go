@@ -1,0 +1,84 @@
+package remote
+
+import (
+	"repro/internal/store"
+)
+
+// Snapshot serialization: the exposed store's entries, sorted by (scope,
+// name), with both strings interned through a store.Symbols table so each
+// distinct scope and variable name is encoded once and every entry is two
+// varint IDs plus its value. The FNV-1a hash of the encoded bytes is the
+// snapshot's content identity — the dispatcher ships a snapshot to a worker
+// at most once per hash, and the worker caches decoded stores by hash, which
+// is the paper's load-once reuse of @load state stretched across the wire.
+
+// fnv1a64 hashes b with 64-bit FNV-1a.
+func fnv1a64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// encodeSnapshot serializes e's entries and returns the bytes with their
+// content hash. Opaque values go through the value table (or fail without
+// one). Deterministic: equal store contents yield equal bytes and hash.
+func encodeSnapshot(e *store.Exposed, vt *ValueTable) ([]byte, uint64, error) {
+	entries := e.Entries()
+	syms := store.NewSymbols()
+	for _, kv := range entries {
+		syms.Intern(kv.Scope)
+		syms.Intern(kv.Name)
+	}
+	w := &wbuf{}
+	n := syms.Len()
+	w.uv(uint64(n))
+	for id := 0; id < n; id++ {
+		w.str(syms.Name(uint32(id)))
+	}
+	w.uv(uint64(len(entries)))
+	for _, kv := range entries {
+		scopeID, _ := syms.Lookup(kv.Scope)
+		nameID, _ := syms.Lookup(kv.Name)
+		w.uv(uint64(scopeID))
+		w.uv(uint64(nameID))
+		if err := appendValue(w, kv.V, vt); err != nil {
+			return nil, 0, err
+		}
+	}
+	return w.b, fnv1a64(w.b), nil
+}
+
+// decodeSnapshot rebuilds an exposed store from encoded snapshot bytes.
+func decodeSnapshot(b []byte, vt *ValueTable) (*store.Exposed, error) {
+	r := &rbuf{b: b}
+	nsym := r.count(1)
+	names := make([]string, 0, nsym)
+	for i := 0; i < nsym && r.err == nil; i++ {
+		names = append(names, r.str())
+	}
+	nent := r.count(3)
+	e := store.NewExposed()
+	for i := 0; i < nent && r.err == nil; i++ {
+		scopeID := r.uv()
+		nameID := r.uv()
+		if r.err != nil || scopeID >= uint64(len(names)) || nameID >= uint64(len(names)) {
+			r.fail()
+			break
+		}
+		v, err := readValue(r, vt)
+		if err != nil {
+			return nil, err
+		}
+		e.Set(names[scopeID], names[nameID], v)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,42 @@
+package remote
+
+import "sync"
+
+// ValueTable exchanges values the wire codec cannot serialize — commit and
+// snapshot values of driver-private types — between a dispatcher and
+// same-process ("loopback") workers. The frame carries only a handle; the
+// value itself never leaves process memory. Handing one table to both the
+// NetExecutor and its Workers makes every value type transportable over the
+// loopback protocol, which is what lets the byte-identical Table I test run
+// real benchmark bodies through the full wire path. A true multi-process
+// deployment has no shared table, and samples committing opaque types fail
+// with a descriptive error instead (register numeric commits, or keep such
+// regions local).
+//
+// Entries live until the table is garbage; the referenced values are the
+// same objects the aggregation store would retain anyway.
+type ValueTable struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]any
+}
+
+// NewValueTable returns an empty table.
+func NewValueTable() *ValueTable {
+	return &ValueTable{m: make(map[uint64]any)}
+}
+
+func (t *ValueTable) put(v any) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	t.m[t.next] = v
+	return t.next
+}
+
+func (t *ValueTable) get(id uint64) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.m[id]
+	return v, ok
+}

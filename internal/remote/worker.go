@@ -1,0 +1,461 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// snapCacheCap bounds how many decoded snapshots a worker retains (FIFO
+// eviction). Rounds of one tuning run share a snapshot until the exposed
+// store changes, so a handful covers interleaved dispatchers.
+const snapCacheCap = 8
+
+// WorkerOptions configure a Worker.
+type WorkerOptions struct {
+	// Name identifies the worker in the dispatcher's metrics and logs.
+	// Empty means "worker".
+	Name string
+	// Slots is how many sampling processes may run concurrently; it is
+	// advertised in the hello frame and the dispatcher keeps at most that
+	// many samples in flight here. Zero means 2 x GOMAXPROCS.
+	Slots int
+	// Registry resolves round recipes to runnable (spec, body) pairs.
+	// Required.
+	Registry *Registry
+	// Values resolves opaque value handles when the dispatcher shares the
+	// table (same-process loopback); nil on a standalone worker.
+	Values *ValueTable
+}
+
+// Worker runs sampling processes on behalf of remote dispatchers. One
+// Worker serves any number of connections; samples from all of them share
+// the slot semaphore and the snapshot cache. Results stream back per
+// connection in whole-sample batches: the writer goroutine greedily
+// coalesces everything finished since its last flush into one frame.
+type Worker struct {
+	opts   WorkerOptions
+	runner *core.DetachedRunner
+	sem    chan struct{}
+
+	mu        sync.Mutex
+	snaps     map[uint64]*store.Exposed
+	snapOrder []uint64
+	conns     map[*wconn]struct{}
+	lns       map[net.Listener]struct{}
+	draining  bool
+	ntasks    sync.WaitGroup // all in-flight samples, across conns
+	wg        sync.WaitGroup // per-conn reader+writer goroutines
+}
+
+// NewWorker returns a Worker ready to serve connections.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Registry == nil {
+		panic("remote: WorkerOptions.Registry is required")
+	}
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Worker{
+		opts:   opts,
+		runner: core.NewDetachedRunner(),
+		sem:    make(chan struct{}, opts.Slots),
+		snaps:  make(map[uint64]*store.Exposed),
+		conns:  make(map[*wconn]struct{}),
+		lns:    make(map[net.Listener]struct{}),
+	}
+}
+
+// Serve accepts dispatcher connections until the listener closes (Drain and
+// Close close it). It returns the accept error, nil after a drain/close.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	w.lns[ln] = struct{}{}
+	w.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			delete(w.lns, ln)
+			draining := w.draining
+			w.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		go w.ServeConn(conn)
+	}
+}
+
+// ServeConn serves one dispatcher connection and blocks until it closes.
+func (w *Worker) ServeConn(conn net.Conn) {
+	c := &wconn{w: w, c: conn, out: make(chan resultMsg, 64)}
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		conn.Close()
+		return
+	}
+	w.conns[c] = struct{}{}
+	w.wg.Add(1) // writer
+	w.mu.Unlock()
+
+	if err := writeFrame(conn, encodeHello(helloMsg{
+		Version: protocolVersion, Name: w.opts.Name, Slots: w.opts.Slots,
+	})); err != nil {
+		w.mu.Lock()
+		delete(w.conns, c)
+		w.mu.Unlock()
+		w.wg.Done()
+		conn.Close()
+		return
+	}
+	go c.writeLoop()
+	c.readLoop()
+}
+
+// snapshot returns the cached exposed store for a content hash.
+func (w *Worker) snapshot(hash uint64) (*store.Exposed, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.snaps[hash]
+	return e, ok
+}
+
+func (w *Worker) installSnapshot(hash uint64, e *store.Exposed) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.snaps[hash]; ok {
+		return
+	}
+	w.snaps[hash] = e
+	w.snapOrder = append(w.snapOrder, hash)
+	if len(w.snapOrder) > snapCacheCap {
+		delete(w.snaps, w.snapOrder[0])
+		w.snapOrder = w.snapOrder[1:]
+	}
+}
+
+// Drain gracefully shuts the worker down: stop accepting connections and
+// tasks, announce the drain to every dispatcher, finish in-flight samples,
+// flush their result batches, say goodbye, and close. It is what the
+// SIGTERM handler of cmd/wbtune-worker calls. Drain returns ctx.Err() if
+// in-flight samples outlive the context (connections are then torn down
+// hard), nil otherwise.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		return nil
+	}
+	w.draining = true
+	conns := make([]*wconn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	lns := make([]net.Listener, 0, len(w.lns))
+	for ln := range w.lns {
+		lns = append(lns, ln)
+	}
+	w.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.write([]byte{mDrain}) // deregisters us at the dispatcher
+	}
+
+	// Wait for in-flight samples; ntasks.Add only happens under w.mu with
+	// draining false, so the counter can only fall from here on.
+	done := make(chan struct{})
+	go func() {
+		w.ntasks.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Flush and close every connection: closing out lets the writer drain
+	// the remaining batches, append the goodbye frame, and close the conn.
+	for _, c := range conns {
+		c.finish()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// Close tears the worker down immediately: listeners and connections close,
+// in-flight sample results are lost (their bodies run to completion, then
+// find the writer gone). Tests use it; production workers Drain.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	w.draining = true
+	conns := make([]*wconn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	lns := make([]net.Listener, 0, len(w.lns))
+	for ln := range w.lns {
+		lns = append(lns, ln)
+	}
+	w.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	w.ntasks.Wait()
+	for _, c := range conns {
+		c.finish()
+	}
+	w.wg.Wait()
+}
+
+// wconn is one dispatcher connection of a Worker.
+type wconn struct {
+	w   *Worker
+	c   net.Conn
+	wmu sync.Mutex // serializes whole frames onto c
+
+	out        chan resultMsg // finished samples -> writer goroutine
+	taskWG     sync.WaitGroup // samples in flight on this conn
+	roundsMap  sync.Map       // round id -> roundMsg
+	finishOnce sync.Once
+}
+
+// write sends one whole frame under the write lock.
+func (c *wconn) write(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.c, payload)
+}
+
+// finish closes the result channel once no more results can be produced,
+// releasing the writer to flush, say goodbye, and close the connection.
+func (c *wconn) finish() {
+	c.finishOnce.Do(func() {
+		go func() {
+			c.taskWG.Wait()
+			close(c.out)
+		}()
+	})
+}
+
+// readLoop processes dispatcher frames until the connection dies.
+func (c *wconn) readLoop() {
+	w := c.w
+	var buf []byte
+	var err error
+	for {
+		var payload []byte
+		payload, err = readFrame(c.c, buf)
+		if err != nil {
+			break
+		}
+		buf = payload
+		if len(payload) == 0 {
+			err = errCodec
+			break
+		}
+		switch payload[0] {
+		case mSnapshot:
+			r := &rbuf{b: payload[1:]}
+			hash := r.u64()
+			if r.err != nil {
+				err = r.err
+				break
+			}
+			var e *store.Exposed
+			e, err = decodeSnapshot(r.b, w.opts.Values)
+			if err != nil {
+				break
+			}
+			w.installSnapshot(hash, e)
+		case mRound:
+			var rm roundMsg
+			rm, err = decodeRound(payload[1:])
+			if err != nil {
+				break
+			}
+			c.rounds().Store(rm.ID, rm)
+		case mEndRound:
+			var id uint64
+			id, err = decodeEndRound(payload[1:])
+			if err != nil {
+				break
+			}
+			c.rounds().Delete(id)
+		case mTask:
+			var tm taskMsg
+			tm, err = decodeTask(payload[1:])
+			if err != nil {
+				break
+			}
+			w.mu.Lock()
+			if w.draining {
+				w.mu.Unlock()
+				// Lost race between our drain announcement and a task in
+				// flight from the dispatcher: bounce it for reassignment.
+				c.write(mustEncodeResults([]resultMsg{{ID: tm.ID, Res: core.ExecResult{
+					Err: "remote: worker draining", Retryable: true,
+				}}}))
+				continue
+			}
+			w.ntasks.Add(1)
+			c.taskWG.Add(1)
+			w.mu.Unlock()
+			go c.runTask(tm)
+		default:
+			err = fmt.Errorf("%w: unexpected frame type %d", errCodec, payload[0])
+		}
+		if err != nil {
+			break
+		}
+	}
+	w.mu.Lock()
+	delete(w.conns, c)
+	w.mu.Unlock()
+	c.c.Close()
+	c.finish()
+}
+
+// rounds returns the per-connection round table.
+func (c *wconn) rounds() *sync.Map { return &c.roundsMap }
+
+// runTask executes one sampling-process attempt and queues its result.
+func (c *wconn) runTask(tm taskMsg) {
+	w := c.w
+	defer w.ntasks.Done()
+	defer c.taskWG.Done()
+	w.sem <- struct{}{}
+	defer func() { <-w.sem }()
+
+	rv, ok := c.rounds().Load(tm.Round)
+	if !ok {
+		c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{
+			Err: "remote: task for unknown round", Retryable: true,
+		}}
+		return
+	}
+	rm := rv.(roundMsg)
+	reg, ok := w.opts.Registry.resolve(rm)
+	if !ok {
+		// Nothing registered under this name or dynamic key here: the
+		// dispatcher falls back to running the region in-process.
+		c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{Unsupported: true}}
+		return
+	}
+	var exposed *store.Exposed
+	if rm.SnapHash != 0 {
+		exposed, ok = w.snapshot(rm.SnapHash)
+		if !ok {
+			c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{
+				Err: "remote: snapshot not cached", Retryable: true,
+			}}
+			return
+		}
+	}
+	res := w.runner.Run(context.Background(), reg.Spec, reg.Body, core.SampleTask{
+		Seed:     rm.Seed,
+		N:        rm.N,
+		Group:    tm.Group,
+		Attempt:  tm.Attempt,
+		Feedback: rm.Feedback,
+	}, exposed)
+	c.out <- resultMsg{ID: tm.ID, Res: res}
+}
+
+// resultBatchMax bounds how many finished samples ride in one result frame.
+const resultBatchMax = 64
+
+// writeLoop streams finished samples back, batching greedily: everything
+// queued at flush time joins one frame. After the channel closes (drain or
+// teardown) it flushes the tail, appends the goodbye frame, and closes the
+// connection.
+func (c *wconn) writeLoop() {
+	defer c.w.wg.Done()
+	alive := true
+	for alive {
+		r, ok := <-c.out
+		if !ok {
+			break
+		}
+		batch := []resultMsg{r}
+	collect:
+		for len(batch) < resultBatchMax {
+			select {
+			case r2, ok2 := <-c.out:
+				if !ok2 {
+					alive = false
+					break collect
+				}
+				batch = append(batch, r2)
+			default:
+				break collect
+			}
+		}
+		if err := c.flush(batch); err != nil {
+			// The connection is gone; drain remaining results so task
+			// goroutines never block on the channel.
+			for range c.out {
+			}
+			c.c.Close()
+			return
+		}
+	}
+	c.write([]byte{mBye})
+	c.c.Close()
+}
+
+// flush encodes and writes one result batch. Samples whose values cannot be
+// serialized are replaced by a per-sample error result, so one opaque commit
+// cannot poison its batch siblings.
+func (c *wconn) flush(batch []resultMsg) error {
+	payload, err := encodeResults(batch, c.w.opts.Values)
+	if err != nil {
+		fixed := make([]resultMsg, len(batch))
+		for i, m := range batch {
+			if _, e1 := encodeResults([]resultMsg{m}, c.w.opts.Values); e1 != nil {
+				m = resultMsg{ID: m.ID, Res: core.ExecResult{
+					Err: fmt.Sprintf("remote: unserializable sample result: %v", e1),
+				}}
+			}
+			fixed[i] = m
+		}
+		payload, err = encodeResults(fixed, c.w.opts.Values)
+		if err != nil {
+			return err
+		}
+	}
+	return c.write(payload)
+}
+
+// mustEncodeResults encodes a batch of plain error results (always
+// serializable).
+func mustEncodeResults(batch []resultMsg) []byte {
+	b, err := encodeResults(batch, nil)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddCapacityRaisesSamplingBound(t *testing.T) {
+	s := New(2, false)
+	s.Acquire(SpawnS, 0)
+	s.Acquire(SpawnS, 0)
+	admitted := make(chan struct{})
+	go func() {
+		s.Acquire(SpawnS, 0)
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("3rd sampling process admitted on a pool of 2")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Remote worker capacity arrives: the waiter must be admitted without
+	// any Release.
+	s.AddCapacity(3)
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by AddCapacity")
+	}
+	if s.InUse() != 3 {
+		t.Fatalf("InUse = %d", s.InUse())
+	}
+	// Capacity can shrink again (worker drained), never below 1.
+	s.AddCapacity(-3)
+	s.Release()
+	s.Release()
+	s.Release()
+	s.Acquire(SpawnS, 0) // bound is back to 2; one still fits
+	if s.InUse() != 1 {
+		t.Fatalf("InUse = %d", s.InUse())
+	}
+}
+
+func TestAddCapacityDisabledAndZeroNoOp(t *testing.T) {
+	s := New(2, true) // scheduler disabled: everything admitted immediately
+	s.AddCapacity(5)  // must not panic or change behavior
+	for i := 0; i < 10; i++ {
+		s.Acquire(SpawnS, 0)
+	}
+	if s.InUse() != 10 {
+		t.Fatalf("disabled scheduler InUse = %d", s.InUse())
+	}
+	s2 := New(2, false)
+	s2.AddCapacity(0) // no-op
+	s2.Acquire(SpawnS, 0)
+	if s2.InUse() != 1 {
+		t.Fatalf("InUse = %d", s2.InUse())
+	}
+}
+
+func TestAddCapacityBelowOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("driving the bound below 1 did not panic")
+		}
+	}()
+	s := New(2, false)
+	s.AddCapacity(-2)
+}

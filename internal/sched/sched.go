@@ -111,11 +111,12 @@ func (q *waitQueue) Pop() any {
 // Scheduler admits processes into a bounded pool. The zero value is not
 // usable; construct with New.
 type Scheduler struct {
-	max   int
-	limS  int64 // occupancy bound for sampling processes
-	limT  int64 // occupancy bound for tuning processes (75% rule)
-	occ   atomic.Int64
-	nwait atomic.Int64 // number of queued waiters; releasers skip the mutex at 0
+	max      int
+	disabled bool
+	limS     atomic.Int64 // occupancy bound for sampling processes (local pool + added remote capacity)
+	limT     int64        // occupancy bound for tuning processes (75% rule)
+	occ      atomic.Int64
+	nwait    atomic.Int64 // number of queued waiters; releasers skip the mutex at 0
 
 	admitted  atomic.Int64
 	waited    atomic.Int64
@@ -140,14 +141,38 @@ func New(max int, disabled bool) *Scheduler {
 	if max <= 0 {
 		panic("sched: pool size must be positive")
 	}
-	s := &Scheduler{max: max}
-	s.limS = int64(max)
+	s := &Scheduler{max: max, disabled: disabled}
+	s.limS.Store(int64(max))
 	s.limT = int64(tpLimitFor(max))
 	if disabled {
-		s.limS = math.MaxInt64
+		s.limS.Store(math.MaxInt64)
 		s.limT = math.MaxInt64
 	}
 	return s
+}
+
+// AddCapacity grows (n > 0) or shrinks (n < 0) the sampling-process
+// occupancy bound by n slots. A network executor calls it with the remote
+// fleet's slot count so that Algorithm 1's admission covers local plus
+// remote capacity with one occupancy word — a dispatched sample holds a
+// scheduler slot exactly like a local one, and the 75% tuning-process rule
+// stays tied to the local pool only (tuning processes always run locally).
+// Shrinking below current occupancy is allowed: existing processes finish,
+// new admissions wait. No-op on a disabled scheduler.
+func (s *Scheduler) AddCapacity(n int) {
+	if s.disabled || n == 0 {
+		return
+	}
+	if s.limS.Add(int64(n)) < 1 {
+		panic("sched: AddCapacity drove the sampling bound below 1")
+	}
+	if n < 0 || s.nwait.Load() == 0 {
+		return
+	}
+	// New headroom may admit queued waiters that no Release will ever wake.
+	s.mu.Lock()
+	s.wakeLocked()
+	s.mu.Unlock()
 }
 
 // Scheduler metric names.
@@ -191,7 +216,7 @@ func tpLimitFor(max int) int {
 // limit returns the occupancy bound for an event kind.
 func (s *Scheduler) limit(event Event) int64 {
 	if event == SpawnS {
-		return s.limS
+		return s.limS.Load()
 	}
 	return s.limT
 }

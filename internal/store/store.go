@@ -145,6 +145,43 @@ func (e *Exposed) Snapshot() map[string]any {
 	return out
 }
 
+// ExposedKV is one exposed-store entry in its externalized form, the unit of
+// snapshot serialization for shipping @load state to remote workers.
+type ExposedKV struct {
+	Scope, Name string
+	V           any
+}
+
+// Entries returns every entry of the store sorted by (scope, name). The
+// deterministic order makes an encoded snapshot's content hash stable: two
+// stores with equal contents serialize to identical bytes regardless of
+// insertion order or shard layout.
+func (e *Exposed) Entries() []ExposedKV {
+	out := make([]ExposedKV, 0, e.Len())
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			out = append(out, ExposedKV{Scope: k.scope, Name: k.name, V: v})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SetEntries installs a decoded snapshot, overwriting same-keyed entries.
+func (e *Exposed) SetEntries(kvs []ExposedKV) {
+	for _, kv := range kvs {
+		e.Set(kv.Scope, kv.Name, kv.V)
+	}
+}
+
 // symTable is one immutable snapshot of a Symbols table. Readers get the
 // whole snapshot with one atomic load, so lookups never take a lock.
 type symTable struct {
