@@ -62,9 +62,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       experiments -bench-json <path> [-bench-baseline <path>]")
 }
 
-// benchReport runs the hot-path microbenchmarks plus the worker-scaling
-// sweep, writes the perf report, and (when a baseline report is given) gates
-// on the regression threshold. Returns the process exit code.
+// benchReport runs the hot-path microbenchmarks plus the worker-scaling and
+// multi-job sweeps, writes the perf report, and (when a baseline report is
+// given) gates on the regression threshold. Returns the process exit code.
 func benchReport(out, baseline string) int {
 	const tolerance = 0.25
 	results := bench.RunPerf()
@@ -74,9 +74,15 @@ func benchReport(out, baseline string) int {
 		return 1
 	}
 	results = append(results, scaling...)
+	multi, err := bench.MultiJobPerf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: multi-job:", err)
+		return 1
+	}
+	results = append(results, multi...)
 	rep := bench.PerfReport{
-		PR:         4,
-		Note:       "distributed sampling executor: remote worker fleet, snapshot shipping, work stealing",
+		PR:         5,
+		Note:       "multi-tenant Runtime: shared scheduler pool with weighted fair admission, job-multiplexed worker fleet, per-job metric labels",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 		Baseline:   bench.PrePRBaseline(),

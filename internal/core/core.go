@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -37,7 +36,12 @@ import (
 	"repro/internal/strategy"
 )
 
-// Options configure a Tuner.
+// Options configure a single-job Tuner made with New. They combine what is
+// runtime-wide under the Runtime/job split (pool size, scheduler mode,
+// metrics registry, fault policy, executor — see RuntimeOptions) with the
+// job-scoped settings (seed, budget, incremental aggregation, trace — see
+// JobOptions); New builds a private Runtime from the former and one job
+// from the latter.
 type Options struct {
 	// MaxPool bounds the number of simultaneously live tuning + sampling
 	// processes (Algorithm 1). Zero means twice the number of CPUs.
@@ -144,14 +148,23 @@ type regionShape struct {
 	pool sync.Pool // *SP
 }
 
-// Tuner is the white-box tuning engine. Create one per tuning task with New
-// and start the program with Run. A Tuner is safe for use by the multiple
+// Tuner is one tuning job: the per-job handle carrying program structure
+// (region shapes), the seed, the budget, the exposed store, and the
+// feedback state, while the scheduler pool, executor, and metrics registry
+// it runs on belong to its Runtime. Create a job on a shared Runtime with
+// Runtime.NewJob, or a single job over a private runtime with New, and
+// start the program with Run. A Tuner is safe for use by the multiple
 // tuning and sampling processes it manages.
 type Tuner struct {
 	opts    Options
-	sched   *sched.Scheduler
+	rt      *Runtime
+	sched   *sched.Scheduler // == rt's scheduler; cached for the hot path
+	job     *sched.Job       // the job's admission handle (share + cap)
+	jobID   uint64           // runtime-unique; namespaces executor state
+	jobName string           // metric label; "" for single-job compat
 	exposed *store.Exposed
 	obsv    *tunerObs // nil when Options.Obs is nil
+	closed  atomic.Bool
 
 	workMilli int64 // atomic; total work in 1/1024 units
 	ctr       counters
@@ -164,31 +177,35 @@ type Tuner struct {
 	execSkip sync.Map // region name -> struct{}
 }
 
-// New returns a Tuner with the given options.
+// New returns a single-job Tuner over a private Runtime — the original
+// one-job-per-engine surface, preserved unchanged: scheduling, seeding, and
+// metric labels are identical to the pre-runtime engine. Programs that want
+// several jobs over one pool use NewRuntime + Runtime.NewJob instead.
 func New(opts Options) *Tuner {
-	if opts.MaxPool == 0 {
-		opts.MaxPool = 2 * runtime.NumCPU()
-	}
-	if opts.MaxPool < 1 {
-		panic("core: MaxPool must be positive")
-	}
-	t := &Tuner{
-		opts:    opts,
-		sched:   sched.New(opts.MaxPool, opts.DisableScheduler),
-		exposed: store.NewExposed(),
-		obsv:    newTunerObs(opts.Obs),
-	}
-	if opts.Obs != nil {
-		t.sched.Instrument(opts.Obs)
-	}
-	if opts.Executor != nil {
-		if c := opts.Executor.Capacity(); c > 0 {
-			// Remote slots join Algorithm 1's admission bound: a dispatched
-			// sample occupies a scheduler slot exactly like a local one.
-			t.sched.AddCapacity(c)
-		}
-	}
-	return t
+	rt := NewRuntime(RuntimeOptions{
+		MaxPool:          opts.MaxPool,
+		DisableScheduler: opts.DisableScheduler,
+		Obs:              opts.Obs,
+		Fault:            opts.Fault,
+		Executor:         opts.Executor,
+	})
+	opts.MaxPool = rt.opts.MaxPool
+	return rt.newTuner(opts, uint64(rt.nextJob.Add(1)), "", 1, 0)
+}
+
+// acquire blocks until the scheduler admits one of this job's processes.
+func (t *Tuner) acquire(event sched.Event, todo int) {
+	t.sched.AcquireJob(event, todo, t.job)
+}
+
+// acquireCtx is acquire with cancellation while queued.
+func (t *Tuner) acquireCtx(ctx context.Context, event sched.Event, todo int) error {
+	return t.sched.AcquireCtxJob(ctx, event, todo, t.job)
+}
+
+// release returns one of this job's pool slots.
+func (t *Tuner) release() {
+	t.sched.ReleaseJob(t.job)
 }
 
 // shape returns the per-region-name state, creating it on first use.
@@ -215,8 +232,8 @@ func (t *Tuner) RunContext(ctx context.Context, fn func(p *P) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	t.sched.Acquire(sched.SpawnT, 0)
-	defer t.sched.Release()
+	t.acquire(sched.SpawnT, 0)
+	defer t.release()
 	p := t.newP(ctx)
 	err := fn(p)
 	return errors.Join(err, p.Wait())
@@ -440,8 +457,8 @@ func (p *P) Split(fn func(child *P) error) {
 	go func() {
 		defer p.wg.Done()
 		defer atomic.AddInt64(&p.pending, -1)
-		p.t.sched.Acquire(sched.SpawnT, 0)
-		defer p.t.sched.Release()
+		p.t.acquire(sched.SpawnT, 0)
+		defer p.t.release()
 		err := fn(child)
 		if werr := child.Wait(); werr != nil {
 			err = errors.Join(err, werr)
@@ -460,9 +477,9 @@ func (p *P) Split(fn func(child *P) error) {
 // on small pools).
 func (p *P) Wait() error {
 	if atomic.LoadInt64(&p.pending) > 0 {
-		p.t.sched.Release()
+		p.t.release()
 		p.wg.Wait()
-		p.t.sched.Acquire(sched.SpawnT, 0)
+		p.t.acquire(sched.SpawnT, 0)
 	} else {
 		p.wg.Wait()
 	}

@@ -21,6 +21,10 @@ var ErrExecUnsupported = errors.New("core: executor cannot run this work")
 // N, Feedback), so a worker that rebuilds the sampler from this task
 // reproduces the in-process draws bit-identically.
 type RoundTask struct {
+	// Job is the runtime-unique id of the tuning job the round belongs to.
+	// Executors shared by several jobs namespace per-job state (snapshot
+	// caches) on it; Tuner.Close retires the namespace via JobEnder.
+	Job uint64
 	// Region is the region name; executors that resolve bodies from a
 	// registry key on it.
 	Region string

@@ -8,7 +8,10 @@ import (
 
 // Metric names the runtime registers when Options.Obs is set. Region-scoped
 // metrics carry a region label with the RegionSpec.Name; sample counters
-// additionally carry result=done|pruned|failed.
+// additionally carry result=done|pruned|failed. Jobs created on a shared
+// Runtime prepend job=<JobOptions.Name> to every series below, so one
+// Prometheus endpoint covers all co-tenant jobs; single-job Tuners made
+// with New stay unlabeled.
 const (
 	// MetricRegionDuration times whole Region calls (all rounds of
 	// auto-tuned sampling included), per region.
@@ -39,18 +42,30 @@ const (
 	MetricRegionsDegraded = "wbtuner_regions_degraded_total"
 )
 
-// tunerObs caches the Tuner's instruments so the hot paths never hit the
-// registry lock: tuner-wide instruments are looked up once at New,
-// region-scoped ones once per region name. A nil *tunerObs (observability
-// off) is valid everywhere.
+// tunerObs caches one job's instruments so the hot paths never hit the
+// registry lock: job-wide instruments are looked up once at job creation,
+// region-scoped ones once per region name. Jobs on a shared Runtime carry a
+// job label on every series so one registry distinguishes co-tenants; a
+// single-job Tuner made with New has no job label, keeping its exposition
+// byte-compatible with the pre-runtime engine. A nil *tunerObs
+// (observability off) is valid everywhere.
 type tunerObs struct {
 	reg       *obs.Registry
+	job       string // job label value; "" = unlabeled (single-job compat)
 	splits    *obs.Counter
 	ringOcc   *obs.Gauge
 	ringBatch *obs.Histogram
 
 	mu      sync.Mutex
 	regions map[string]*regionObs
+}
+
+// labels prepends the job label (when set) to a series' own labels.
+func (o *tunerObs) labels(kv ...string) []string {
+	if o.job == "" {
+		return kv
+	}
+	return append([]string{"job", o.job}, kv...)
 }
 
 // regionObs holds one region name's instruments.
@@ -66,7 +81,7 @@ type regionObs struct {
 	degraded  *obs.Counter
 }
 
-func newTunerObs(reg *obs.Registry) *tunerObs {
+func newTunerObs(reg *obs.Registry, job string) *tunerObs {
 	if reg == nil {
 		return nil
 	}
@@ -80,13 +95,11 @@ func newTunerObs(reg *obs.Registry) *tunerObs {
 	reg.SetHelp(MetricSamplesTimeout, "sampling processes abandoned at a deadline or region budget")
 	reg.SetHelp(MetricSamplesRetried, "sampling-process re-attempts after retryable failures")
 	reg.SetHelp(MetricRegionsDegraded, "regions completed with at least one timed-out or failed sample")
-	return &tunerObs{
-		reg:       reg,
-		splits:    reg.Counter(MetricSplits),
-		ringOcc:   reg.Gauge(MetricRingOccupancy),
-		ringBatch: reg.Histogram(MetricRingDrainBatch, obs.SizeBuckets()),
-		regions:   make(map[string]*regionObs),
-	}
+	o := &tunerObs{reg: reg, job: job, regions: make(map[string]*regionObs)}
+	o.splits = reg.Counter(MetricSplits, o.labels()...)
+	o.ringOcc = reg.Gauge(MetricRingOccupancy, o.labels()...)
+	o.ringBatch = reg.Histogram(MetricRingDrainBatch, obs.SizeBuckets(), o.labels()...)
+	return o
 }
 
 // region returns the cached instruments for a region name, creating them on
@@ -101,15 +114,15 @@ func (o *tunerObs) region(name string) *regionObs {
 		return ro
 	}
 	ro := &regionObs{
-		duration:  o.reg.Histogram(MetricRegionDuration, obs.DurationBuckets(), "region", name),
-		sampleDur: o.reg.Histogram(MetricSampleDuration, obs.DurationBuckets(), "region", name),
-		rounds:    o.reg.Counter(MetricRounds, "region", name),
-		done:      o.reg.Counter(MetricSamples, "region", name, "result", "done"),
-		pruned:    o.reg.Counter(MetricSamples, "region", name, "result", "pruned"),
-		failed:    o.reg.Counter(MetricSamples, "region", name, "result", "failed"),
-		timeout:   o.reg.Counter(MetricSamplesTimeout, "region", name),
-		retried:   o.reg.Counter(MetricSamplesRetried, "region", name),
-		degraded:  o.reg.Counter(MetricRegionsDegraded, "region", name),
+		duration:  o.reg.Histogram(MetricRegionDuration, obs.DurationBuckets(), o.labels("region", name)...),
+		sampleDur: o.reg.Histogram(MetricSampleDuration, obs.DurationBuckets(), o.labels("region", name)...),
+		rounds:    o.reg.Counter(MetricRounds, o.labels("region", name)...),
+		done:      o.reg.Counter(MetricSamples, o.labels("region", name, "result", "done")...),
+		pruned:    o.reg.Counter(MetricSamples, o.labels("region", name, "result", "pruned")...),
+		failed:    o.reg.Counter(MetricSamples, o.labels("region", name, "result", "failed")...),
+		timeout:   o.reg.Counter(MetricSamplesTimeout, o.labels("region", name)...),
+		retried:   o.reg.Counter(MetricSamplesRetried, o.labels("region", name)...),
+		degraded:  o.reg.Counter(MetricRegionsDegraded, o.labels("region", name)...),
 	}
 	o.regions[name] = ro
 	return ro

@@ -301,8 +301,8 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	// The tuning process pauses for the duration of the region (execution
 	// model step 4): it hands its pool slot back so its sampling processes
 	// can use it — Algorithm 1 adjusts poolSize around wait() the same way.
-	t.sched.Release()
-	defer t.sched.Acquire(sched.SpawnT, 0)
+	t.release()
+	defer t.acquire(sched.SpawnT, 0)
 
 	// The region context carries the whole-round budget (FaultPolicy) on top
 	// of the tuning process's own context; every per-sample deadline derives
@@ -383,6 +383,7 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	if ex := t.opts.Executor; ex != nil && k == 1 {
 		if _, skip := t.execSkip.Load(spec.Name); !skip {
 			h, err := ex.BeginRound(RoundTask{
+				Job:      t.jobID,
 				Region:   spec.Name,
 				Seed:     rs.seed,
 				Round:    round,
@@ -425,7 +426,7 @@ launch:
 			sampler = spec.Strategy.Sampler(rs.seed, g, n, fb)
 		}
 		for f := 0; f < k; f++ {
-			if err := t.sched.AcquireCtx(ctx, sched.SpawnS, n-g); err != nil {
+			if err := t.acquireCtx(ctx, sched.SpawnS, n-g); err != nil {
 				// The region budget (or the caller's context) expired while
 				// this request was queued: everything not yet launched fails
 				// with the distinguished budget outcome, and the round

@@ -53,13 +53,13 @@ func newHeldSlot() *spSlot {
 // held state; otherwise it is a no-op.
 func (s *spSlot) release(t *Tuner) {
 	if s.held.CompareAndSwap(true, false) {
-		t.sched.Release()
+		t.release()
 	}
 }
 
 // reacquire blocks for a fresh slot and marks it held.
 func (s *spSlot) reacquire(t *Tuner) {
-	t.sched.Acquire(sched.SpawnS, 0)
+	t.acquire(sched.SpawnS, 0)
 	s.held.Store(true)
 }
 

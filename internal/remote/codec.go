@@ -12,8 +12,10 @@ import (
 )
 
 // protocolVersion is negotiated in the hello frame; a mismatch rejects the
-// connection rather than misparsing frames.
-const protocolVersion = 1
+// connection rather than misparsing frames. Version 2 namespaces snapshots
+// and rounds by tuning job so one worker fleet serves many jobs of a shared
+// Runtime without cross-job cache interference.
+const protocolVersion = 2
 
 // Message type bytes (first payload byte of every frame).
 const (
@@ -25,7 +27,13 @@ const (
 	mEndRound byte = 6 // dispatcher -> worker: forget a round
 	mDrain    byte = 7 // worker -> dispatcher: draining, assign nothing new
 	mBye      byte = 8 // worker -> dispatcher: all in-flight flushed, closing
+	mEndJob   byte = 9 // dispatcher -> worker: a job closed, drop its snapshots
 )
+
+// snapKey names one cached snapshot: job-scoped so co-tenant jobs of a
+// shared Runtime never evict each other's @load state, content-hashed so
+// re-shipment is cheap to detect.
+type snapKey struct{ job, hash uint64 }
 
 var errCodec = errors.New("remote: malformed message")
 
@@ -349,6 +357,7 @@ func decodeHello(b []byte) (helloMsg, error) {
 
 type roundMsg struct {
 	ID       uint64
+	Job      uint64 // runtime-unique tuning-job id; namespaces snapshots
 	Region   string
 	Dyn      uint64 // dynamic-registry key; 0 means resolve Region by name
 	Seed     int64
@@ -362,6 +371,7 @@ func encodeRound(m roundMsg) []byte {
 	w := &wbuf{}
 	w.byte(mRound)
 	w.uv(m.ID)
+	w.uv(m.Job)
 	w.str(m.Region)
 	w.uv(m.Dyn)
 	w.iv(m.Seed)
@@ -376,6 +386,7 @@ func decodeRound(b []byte) (roundMsg, error) {
 	r := &rbuf{b: b}
 	m := roundMsg{
 		ID:     r.uv(),
+		Job:    r.uv(),
 		Region: r.str(),
 		Dyn:    r.uv(),
 		Seed:   r.iv(),
@@ -532,4 +543,17 @@ func decodeEndRound(b []byte) (uint64, error) {
 	r := &rbuf{b: b}
 	id := r.uv()
 	return id, r.done()
+}
+
+func encodeEndJob(job uint64) []byte {
+	w := &wbuf{}
+	w.byte(mEndJob)
+	w.uv(job)
+	return w.b
+}
+
+func decodeEndJob(b []byte) (uint64, error) {
+	r := &rbuf{b: b}
+	job := r.uv()
+	return job, r.done()
 }

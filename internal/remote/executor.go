@@ -56,11 +56,19 @@ type NetExecutor struct {
 	nextRound uint64
 	closed    bool
 
-	snapMu    sync.Mutex
-	snapStore *store.Exposed
-	snapVer   uint64
-	snapData  []byte
-	snapHash  uint64
+	snapMu sync.Mutex
+	snaps  map[uint64]*jobSnap // job id -> encoded-snapshot cache
+}
+
+// jobSnap caches one job's encoded exposed-store snapshot, keyed by the
+// store's version counter so unchanged @load state is encoded once per
+// version — and, with a per-job entry, co-tenant jobs on a shared Runtime
+// never thrash each other's cache between interleaved rounds.
+type jobSnap struct {
+	store *store.Exposed
+	ver   uint64
+	data  []byte
+	hash  uint64
 }
 
 // NewExecutor returns an executor with no workers; add them with AddConn or
@@ -69,7 +77,7 @@ func NewExecutor(opts ExecutorOptions) *NetExecutor {
 	if opts.Registry == nil {
 		panic("remote: ExecutorOptions.Registry is required")
 	}
-	ex := &NetExecutor{opts: opts}
+	ex := &NetExecutor{opts: opts, snaps: make(map[uint64]*jobSnap)}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
 }
@@ -83,7 +91,7 @@ type dworker struct {
 	m     *workerMetrics
 
 	wmu        sync.Mutex // serializes whole frames onto c
-	sentSnaps  map[uint64]bool
+	sentSnaps  map[snapKey]bool
 	sentRounds map[uint64]bool
 
 	// Guarded by ex.mu.
@@ -117,6 +125,7 @@ type callOutcome struct {
 // roundState is the executor's BeginRound handle.
 type roundState struct {
 	id       uint64
+	job      uint64
 	dyn      uint64
 	payload  []byte // encoded round frame
 	snapHash uint64
@@ -179,7 +188,7 @@ func (ex *NetExecutor) AddConn(conn net.Conn) error {
 		name:       name,
 		slots:      hello.Slots,
 		m:          m,
-		sentSnaps:  make(map[uint64]bool),
+		sentSnaps:  make(map[snapKey]bool),
 		sentRounds: make(map[uint64]bool),
 		inflight:   make(map[uint64]*call),
 	}
@@ -217,24 +226,25 @@ func (ex *NetExecutor) Capacity() int {
 	return n
 }
 
-// snapshotFor encodes (or reuses) the snapshot of the tuner's exposed
-// store, cached by the store's version counter so unchanged @load state is
-// encoded once per version, not once per round.
-func (ex *NetExecutor) snapshotFor(e *store.Exposed) ([]byte, uint64, error) {
+// snapshotFor encodes (or reuses) the snapshot of a job's exposed store,
+// cached per job by the store's version counter so unchanged @load state is
+// encoded once per version, not once per round — even while other jobs'
+// rounds interleave on the same executor.
+func (ex *NetExecutor) snapshotFor(job uint64, e *store.Exposed) ([]byte, uint64, error) {
 	if e == nil || e.Len() == 0 {
 		return nil, 0, nil
 	}
 	ex.snapMu.Lock()
 	defer ex.snapMu.Unlock()
 	ver := e.Version()
-	if ex.snapStore == e && ex.snapVer == ver && ex.snapData != nil {
-		return ex.snapData, ex.snapHash, nil
+	if s := ex.snaps[job]; s != nil && s.store == e && s.ver == ver {
+		return s.data, s.hash, nil
 	}
 	data, hash, err := encodeSnapshot(e, ex.opts.Values)
 	if err != nil {
 		return nil, 0, err
 	}
-	ex.snapStore, ex.snapVer, ex.snapData, ex.snapHash = e, ver, data, hash
+	ex.snaps[job] = &jobSnap{store: e, ver: ver, data: data, hash: hash}
 	return data, hash, nil
 }
 
@@ -256,7 +266,7 @@ func (ex *NetExecutor) BeginRound(r core.RoundTask) (any, error) {
 		}
 		dyn = ex.opts.Registry.registerDynamic(Registration{Spec: r.Spec, Body: r.Body})
 	}
-	data, hash, err := ex.snapshotFor(r.Exposed)
+	data, hash, err := ex.snapshotFor(r.Job, r.Exposed)
 	if err != nil {
 		if dyn != 0 {
 			ex.opts.Registry.releaseDynamic(dyn)
@@ -267,9 +277,10 @@ func (ex *NetExecutor) BeginRound(r core.RoundTask) (any, error) {
 	ex.nextRound++
 	id := ex.nextRound
 	ex.mu.Unlock()
-	rs := &roundState{id: id, dyn: dyn, snapHash: hash, snapData: data}
+	rs := &roundState{id: id, job: r.Job, dyn: dyn, snapHash: hash, snapData: data}
 	rs.payload = encodeRound(roundMsg{
 		ID:       id,
+		Job:      r.Job,
 		Region:   r.Region,
 		Dyn:      dyn,
 		Seed:     r.Seed,
@@ -307,6 +318,40 @@ func (ex *NetExecutor) EndRound(handle any) {
 	}
 	if rs.dyn != 0 {
 		ex.opts.Registry.releaseDynamic(rs.dyn)
+	}
+}
+
+// EndJob retires one tuning job's executor state: the dispatcher-side
+// encoded-snapshot cache entry is dropped and every live worker is told to
+// evict the job's decoded snapshots. core.Tuner.Close calls it (via the
+// core.JobEnder interface) when a job on a shared Runtime shuts down, so a
+// long-lived executor does not accumulate state for departed tenants.
+func (ex *NetExecutor) EndJob(job uint64) {
+	ex.snapMu.Lock()
+	delete(ex.snaps, job)
+	ex.snapMu.Unlock()
+	ex.mu.Lock()
+	workers := make([]*dworker, 0, len(ex.workers))
+	for _, w := range ex.workers {
+		if !w.dead {
+			workers = append(workers, w)
+		}
+	}
+	ex.mu.Unlock()
+	payload := encodeEndJob(job)
+	for _, w := range workers {
+		w.wmu.Lock()
+		sent := false
+		for sk := range w.sentSnaps {
+			if sk.job == job {
+				delete(w.sentSnaps, sk)
+				sent = true
+			}
+		}
+		if sent {
+			writeFrame(w.c, payload)
+		}
+		w.wmu.Unlock()
 	}
 }
 
@@ -388,18 +433,20 @@ func (w *dworker) ship(c *call) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	rs := c.r
-	if rs.snapData != nil && !w.sentSnaps[rs.snapHash] {
+	sk := snapKey{job: rs.job, hash: rs.snapHash}
+	if rs.snapData != nil && !w.sentSnaps[sk] {
 		if w.m != nil {
 			w.m.snapMisses.Inc()
 		}
 		wb := &wbuf{}
 		wb.byte(mSnapshot)
+		wb.uv(rs.job)
 		wb.u64(rs.snapHash)
 		wb.b = append(wb.b, rs.snapData...)
 		if err := writeFrame(w.c, wb.b); err != nil {
 			return err
 		}
-		w.sentSnaps[rs.snapHash] = true
+		w.sentSnaps[sk] = true
 	} else if rs.snapData != nil {
 		if w.m != nil {
 			w.m.snapHits.Inc()

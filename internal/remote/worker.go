@@ -11,9 +11,11 @@ import (
 	"repro/internal/store"
 )
 
-// snapCacheCap bounds how many decoded snapshots a worker retains (FIFO
-// eviction). Rounds of one tuning run share a snapshot until the exposed
-// store changes, so a handful covers interleaved dispatchers.
+// snapCacheCap bounds how many decoded snapshots a worker retains per
+// tuning job (FIFO eviction). Rounds of one job share a snapshot until the
+// exposed store changes, so a handful covers a job's in-flight rounds; the
+// per-job bound means co-tenant jobs multiplexed over one connection never
+// evict each other's @load state.
 const snapCacheCap = 8
 
 // WorkerOptions configure a Worker.
@@ -44,8 +46,8 @@ type Worker struct {
 	sem    chan struct{}
 
 	mu        sync.Mutex
-	snaps     map[uint64]*store.Exposed
-	snapOrder []uint64
+	snaps     map[snapKey]*store.Exposed
+	snapOrder map[uint64][]uint64 // job id -> hashes, oldest first
 	conns     map[*wconn]struct{}
 	lns       map[net.Listener]struct{}
 	draining  bool
@@ -65,12 +67,13 @@ func NewWorker(opts WorkerOptions) *Worker {
 		opts.Slots = 2 * runtime.GOMAXPROCS(0)
 	}
 	return &Worker{
-		opts:   opts,
-		runner: core.NewDetachedRunner(),
-		sem:    make(chan struct{}, opts.Slots),
-		snaps:  make(map[uint64]*store.Exposed),
-		conns:  make(map[*wconn]struct{}),
-		lns:    make(map[net.Listener]struct{}),
+		opts:      opts,
+		runner:    core.NewDetachedRunner(),
+		sem:       make(chan struct{}, opts.Slots),
+		snaps:     make(map[snapKey]*store.Exposed),
+		snapOrder: make(map[uint64][]uint64),
+		conns:     make(map[*wconn]struct{}),
+		lns:       make(map[net.Listener]struct{}),
 	}
 }
 
@@ -128,26 +131,41 @@ func (w *Worker) ServeConn(conn net.Conn) {
 	c.readLoop()
 }
 
-// snapshot returns the cached exposed store for a content hash.
-func (w *Worker) snapshot(hash uint64) (*store.Exposed, bool) {
+// snapshot returns the cached exposed store for a (job, content hash) pair.
+func (w *Worker) snapshot(job, hash uint64) (*store.Exposed, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	e, ok := w.snaps[hash]
+	e, ok := w.snaps[snapKey{job: job, hash: hash}]
 	return e, ok
 }
 
-func (w *Worker) installSnapshot(hash uint64, e *store.Exposed) {
+func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, ok := w.snaps[hash]; ok {
+	k := snapKey{job: job, hash: hash}
+	if _, ok := w.snaps[k]; ok {
 		return
 	}
-	w.snaps[hash] = e
-	w.snapOrder = append(w.snapOrder, hash)
-	if len(w.snapOrder) > snapCacheCap {
-		delete(w.snaps, w.snapOrder[0])
-		w.snapOrder = w.snapOrder[1:]
+	w.snaps[k] = e
+	order := append(w.snapOrder[job], hash)
+	if len(order) > snapCacheCap {
+		delete(w.snaps, snapKey{job: job, hash: order[0]})
+		order = order[1:]
 	}
+	w.snapOrder[job] = order
+}
+
+// endJob evicts every snapshot a departed job installed. Job ids are unique
+// within one Runtime; should two independent dispatchers collide on an id,
+// the worst case is a premature eviction the content hash heals with one
+// retryable re-ship.
+func (w *Worker) endJob(job uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, hash := range w.snapOrder[job] {
+		delete(w.snaps, snapKey{job: job, hash: hash})
+	}
+	delete(w.snapOrder, job)
 }
 
 // Drain gracefully shuts the worker down: stop accepting connections and
@@ -280,6 +298,7 @@ func (c *wconn) readLoop() {
 		switch payload[0] {
 		case mSnapshot:
 			r := &rbuf{b: payload[1:]}
+			job := r.uv()
 			hash := r.u64()
 			if r.err != nil {
 				err = r.err
@@ -290,7 +309,7 @@ func (c *wconn) readLoop() {
 			if err != nil {
 				break
 			}
-			w.installSnapshot(hash, e)
+			w.installSnapshot(job, hash, e)
 		case mRound:
 			var rm roundMsg
 			rm, err = decodeRound(payload[1:])
@@ -305,6 +324,13 @@ func (c *wconn) readLoop() {
 				break
 			}
 			c.rounds().Delete(id)
+		case mEndJob:
+			var job uint64
+			job, err = decodeEndJob(payload[1:])
+			if err != nil {
+				break
+			}
+			w.endJob(job)
 		case mTask:
 			var tm taskMsg
 			tm, err = decodeTask(payload[1:])
@@ -367,7 +393,7 @@ func (c *wconn) runTask(tm taskMsg) {
 	}
 	var exposed *store.Exposed
 	if rm.SnapHash != 0 {
-		exposed, ok = w.snapshot(rm.SnapHash)
+		exposed, ok = w.snapshot(rm.Job, rm.SnapHash)
 		if !ok {
 			c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{
 				Err: "remote: snapshot not cached", Retryable: true,

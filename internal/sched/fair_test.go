@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWeightedFairConvergence saturates one pool with three jobs of shares
+// 1:2:5 and checks that the slots each job holds converge to its weighted
+// share of the pool. The check is statistical (occupancy is sampled while
+// every job has more demand than share), with generous tolerance so it holds
+// under the race detector's scheduling noise.
+func TestWeightedFairConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based property test")
+	}
+	const (
+		pool    = 8
+		workers = 2 * pool // per job: demand always exceeds any share
+		hold    = 500 * time.Microsecond
+		warmup  = 50 * time.Millisecond
+		window  = 400 * time.Millisecond
+	)
+	shares := []int{1, 2, 5}
+	s := New(pool, false)
+	jobs := make([]*Job, len(shares))
+	for i, sh := range shares {
+		jobs[i] = NewJob(sh, 0)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.AcquireJob(SpawnS, 0, j)
+					time.Sleep(hold)
+					s.ReleaseJob(j)
+				}
+			}(j)
+		}
+	}
+
+	time.Sleep(warmup)
+	sums := make([]float64, len(jobs))
+	for deadline := time.Now().Add(window); time.Now().Before(deadline); {
+		for i, j := range jobs {
+			sums[i] += float64(j.InUse())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	var total, sumShares float64
+	for i, sh := range shares {
+		total += sums[i]
+		sumShares += float64(sh)
+	}
+	if total == 0 {
+		t.Fatal("no occupancy observed; pool never saturated")
+	}
+	for i, sh := range shares {
+		got := sums[i] / total
+		want := float64(sh) / sumShares
+		if got < want*0.6 || got > want*1.6 {
+			t.Errorf("job with share %d held %.1f%% of observed slot-time, want ~%.1f%%",
+				sh, 100*got, 100*want)
+		}
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain", s.InUse())
+	}
+	for i, j := range jobs {
+		if j.InUse() != 0 {
+			t.Fatalf("job %d InUse = %d after drain", i, j.InUse())
+		}
+	}
+}
+
+// TestJobHardCap hammers a capped job from many goroutines and checks the
+// cap is never exceeded, on either admission path.
+func TestJobHardCap(t *testing.T) {
+	const (
+		pool = 8
+		cap  = 2
+	)
+	s := New(pool, false)
+	j := NewJob(4, cap)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				s.AcquireJob(SpawnS, 0, j)
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+				cur.Add(-1)
+				s.ReleaseJob(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > cap {
+		t.Fatalf("job with cap %d held %d slots concurrently", cap, got)
+	}
+	if s.InUse() != 0 || j.InUse() != 0 {
+		t.Fatalf("leftover slots: pool %d, job %d", s.InUse(), j.InUse())
+	}
+}
+
+// TestCapDoesNotStallOthers queues a waiter behind its own job's hard cap
+// and checks a co-tenant is still admitted past it — a capped job throttles
+// itself, never the pool.
+func TestCapDoesNotStallOthers(t *testing.T) {
+	s := New(4, false)
+	a := NewJob(1, 1)
+	s.AcquireJob(SpawnS, 0, a) // a is now at its cap
+	done := make(chan struct{})
+	go func() {
+		s.AcquireJob(SpawnS, 0, a) // must queue until a's slot frees
+		s.ReleaseJob(a)
+		close(done)
+	}()
+	// Wait until a's second request is queued.
+	for s.Stats().Waited == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b := NewJob(1, 0)
+	admitted := make(chan struct{})
+	go func() {
+		s.AcquireJob(SpawnS, 0, b)
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("co-tenant blocked behind a capped job's waiter")
+	}
+	s.ReleaseJob(b)
+	s.ReleaseJob(a) // frees a's cap; its queued waiter is admitted
+	<-done
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain", s.InUse())
+	}
+}

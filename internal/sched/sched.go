@@ -1,28 +1,34 @@
 // Package sched implements the WBTuner process scheduler (Algorithm 1 in the
-// paper). The scheduler throttles process creation so that a tuning run does
-// not exhaust memory: sampling processes are prioritized over tuning
-// processes because they conduct the real computation, and a tuning process
-// may only be admitted while less than 75% of the pool is occupied, so that
-// a burst of @split calls cannot starve the sampling workers.
+// paper), extended with multi-tenant admission. The scheduler throttles
+// process creation so that a tuning run does not exhaust memory: sampling
+// processes are prioritized over tuning processes because they conduct the
+// real computation, and a tuning process may only be admitted while less
+// than 75% of the pool is occupied, so that a burst of @split calls cannot
+// starve the sampling workers.
 //
-// Waiting spawn requests sit in a priority queue ordered first by kind
-// (sampling before tuning) and then by the todo value of the requesting
-// tuning process — processes with fewer remaining samples are finished
-// first so they can release their resources sooner.
+// When several tuning jobs share one pool, each acquires under a Job handle
+// carrying a weighted share and an optional hard cap. Admission under
+// contention is weighted max-min fair: among waiting requests of the same
+// kind, the one whose job holds the fewest slots relative to its share is
+// admitted first, so K saturating jobs converge to occupancy proportional
+// to their shares — with no per-job carve-up, an idle job's capacity flows
+// to the busy ones. Within one job the Algorithm 1 order is unchanged
+// (fewer remaining samples first), so a single-job run schedules exactly as
+// before.
 //
 // Admission is two-tier. While the pool has headroom and nothing is queued,
-// Acquire and Release are a single CAS on the occupancy word — the
-// steady-state path of a sampling round never takes a lock. Only under
-// pressure (a request that does not fit) does the scheduler fall back to the
-// mutex-protected priority queue. The occupancy word and the waiter count
-// form the usual two-flag protocol: an acquirer publishes its waiter entry
-// before re-checking occupancy, a releaser decrements occupancy before
-// checking for waiters, so (with sequentially consistent atomics) at least
-// one side observes the other and no wakeup is lost.
+// Acquire and Release are a single CAS on the occupancy word (plus one on
+// the job's slot count) — the steady-state path of a sampling round never
+// takes a lock. Only under pressure (a request that does not fit) does the
+// scheduler fall back to the mutex-protected wait list. The occupancy word
+// and the waiter count form the usual two-flag protocol: an acquirer
+// publishes its waiter entry before re-checking occupancy, a releaser
+// decrements occupancy before checking for waiters, so (with sequentially
+// consistent atomics) at least one side observes the other and no wakeup is
+// lost.
 package sched
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"sync"
@@ -58,12 +64,97 @@ type Stats struct {
 	PeakInUse int
 }
 
+// Job is one tenant's admission handle on a shared scheduler. Every slot a
+// job's processes hold is counted against it; under contention the wait
+// list is served weighted max-min fair across jobs (see the package
+// comment). The zero Job is not usable; construct with NewJob. A nil *Job
+// is accepted everywhere and means "unattributed" (legacy single-tenant
+// callers): no cap, and treated as an always-zero-load tenant in the
+// fairness order.
+type Job struct {
+	share int64
+	cap   int64 // max concurrently held slots; 0 = no cap
+	inuse atomic.Int64
+}
+
+// NewJob returns a job admission handle with the given weighted share
+// (must be >= 1) and hard cap on concurrently held slots (0 = uncapped).
+// The handle is independent of any particular scheduler; use each handle
+// with one scheduler only, or its slot accounting becomes meaningless.
+func NewJob(share, cap int) *Job {
+	if share < 1 {
+		panic("sched: job share must be >= 1")
+	}
+	if cap < 0 {
+		panic("sched: negative job cap")
+	}
+	return &Job{share: int64(share), cap: int64(cap)}
+}
+
+// InUse reports the number of pool slots the job currently holds.
+func (j *Job) InUse() int {
+	if j == nil {
+		return 0
+	}
+	return int(j.inuse.Load())
+}
+
+// Share reports the job's weighted share.
+func (j *Job) Share() int {
+	if j == nil {
+		return 1
+	}
+	return int(j.share)
+}
+
+// tryTake claims one job-local slot under the hard cap with a bounded CAS.
+// Nil-safe: an unattributed request always succeeds.
+func (j *Job) tryTake() bool {
+	if j == nil {
+		return true
+	}
+	for {
+		o := j.inuse.Load()
+		if j.cap > 0 && o >= j.cap {
+			return false
+		}
+		if j.inuse.CompareAndSwap(o, o+1) {
+			return true
+		}
+	}
+}
+
+// put returns one job-local slot. Nil-safe.
+func (j *Job) put() {
+	if j == nil {
+		return
+	}
+	if j.inuse.Add(-1) < 0 {
+		panic("sched: job release without matching acquire")
+	}
+}
+
+// atCap reports whether the job cannot currently take another slot.
+func (j *Job) atCap() bool {
+	return j != nil && j.cap > 0 && j.inuse.Load() >= j.cap
+}
+
+// load returns the job's fairness coordinates: slots held and share.
+// Unattributed requests read as a zero-load tenant of share 1.
+func (j *Job) load() (inuse, share int64) {
+	if j == nil {
+		return 0, 1
+	}
+	return j.inuse.Load(), j.share
+}
+
 type waiter struct {
 	event Event
 	todo  int
 	seq   int64
+	job   *Job
 	ready chan struct{} // 1-buffered; one token per queued stint
-	index int           // heap position; -1 once admitted or removed
+	index int           // position in the wait list; -1 once admitted or removed
 }
 
 // waiterPool recycles waiter entries. Admission is signalled by a buffered
@@ -75,37 +166,28 @@ var waiterPool = sync.Pool{
 	New: func() any { return &waiter{ready: make(chan struct{}, 1)} },
 }
 
-type waitQueue []*waiter
-
-func (q waitQueue) Len() int { return len(q) }
-func (q waitQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
+// better reports whether waiter a should be admitted before waiter b:
+// sampling processes before tuning processes (Algorithm 1), then the job
+// holding fewer slots per unit of share (weighted max-min fairness; equal
+// for two waiters of the same job), then fewer remaining samples, then
+// FIFO. Job loads are read atomically at comparison time, so the order is a
+// heuristic snapshot — caps and occupancy are re-checked at admission.
+func better(a, b *waiter) bool {
 	if a.event != b.event {
 		return a.event == SpawnS // sampling processes first
+	}
+	if a.job != b.job {
+		ai, as := a.job.load()
+		bi, bs := b.job.load()
+		// Compare ai/as < bi/bs without division.
+		if ai*bs != bi*as {
+			return ai*bs < bi*as
+		}
 	}
 	if a.todo != b.todo {
 		return a.todo < b.todo // fewer remaining samples first
 	}
 	return a.seq < b.seq // FIFO among equals
-}
-func (q waitQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *waitQueue) Push(x any) {
-	w := x.(*waiter)
-	w.index = len(*q)
-	*q = append(*q, w)
-}
-func (q *waitQueue) Pop() any {
-	old := *q
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	w.index = -1
-	*q = old[:n-1]
-	return w
 }
 
 // Scheduler admits processes into a bounded pool. The zero value is not
@@ -125,7 +207,7 @@ type Scheduler struct {
 
 	mu    sync.Mutex
 	seq   int64
-	queue waitQueue
+	queue []*waiter // unordered bag; selection scans under mu
 
 	// Optional instruments (nil without Instrument); both are internally
 	// atomic, so hot-path updates do not take mu.
@@ -136,7 +218,7 @@ type Scheduler struct {
 
 // New returns a scheduler with the given pool size. max must be positive.
 // If disabled is true the scheduler admits everything immediately (used by
-// the Fig. 10 ablation); it still records statistics.
+// the Fig. 10 ablation); it still records statistics and enforces job caps.
 func New(max int, disabled bool) *Scheduler {
 	if max <= 0 {
 		panic("sched: pool size must be positive")
@@ -250,61 +332,81 @@ func (s *Scheduler) noteAdmit() {
 	}
 }
 
-// Acquire blocks until the scheduler admits a process of the given kind.
-// todo is the number of samples remaining for the requesting tuning process
-// and orders waiting requests (Algorithm 1). Every successful Acquire must
-// be paired with exactly one Release.
+// Acquire blocks until the scheduler admits an unattributed process of the
+// given kind. todo is the number of samples remaining for the requesting
+// tuning process and orders waiting requests (Algorithm 1). Every
+// successful Acquire must be paired with exactly one Release.
 func (s *Scheduler) Acquire(event Event, todo int) {
-	_ = s.AcquireCtx(context.Background(), event, todo) // never fails: ctx cannot be cancelled
+	s.AcquireJob(event, todo, nil)
 }
 
-// AcquireCtx is Acquire with cancellation: it returns ctx.Err() if the
-// context is cancelled while the request is still queued, in which case no
-// slot was taken and the caller must NOT Release. If cancellation races with
-// admission the admission wins (AcquireCtx returns nil and the caller owns a
-// slot), so a cancelled sampling region can never strand pool capacity —
-// Algorithm 1's admission queue stays live even when every outstanding
-// request belongs to a wedged region.
+// AcquireJob is Acquire under a job handle: the slot is charged to j's
+// in-use count, j's hard cap is enforced, and under contention the request
+// waits in the weighted-fair order. Pair with ReleaseJob(j).
+func (s *Scheduler) AcquireJob(event Event, todo int, j *Job) {
+	_ = s.AcquireCtxJob(context.Background(), event, todo, j) // never fails: ctx cannot be cancelled
+}
+
+// AcquireCtx is AcquireCtxJob for an unattributed request.
 func (s *Scheduler) AcquireCtx(ctx context.Context, event Event, todo int) error {
+	return s.AcquireCtxJob(ctx, event, todo, nil)
+}
+
+// AcquireCtxJob is AcquireJob with cancellation: it returns ctx.Err() if
+// the context is cancelled while the request is still queued, in which case
+// no slot was taken and the caller must NOT release. If cancellation races
+// with admission the admission wins (AcquireCtxJob returns nil and the
+// caller owns a slot), so a cancelled sampling region can never strand pool
+// capacity — Algorithm 1's admission queue stays live even when every
+// outstanding request belongs to a wedged region.
+func (s *Scheduler) AcquireCtxJob(ctx context.Context, event Event, todo int, j *Job) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	// Fast path: nothing queued and the pool has headroom — one CAS, no
-	// lock. Declined the moment anything waits, so queued requests keep
-	// their Algorithm 1 priority against new arrivals under pressure.
-	if s.nwait.Load() == 0 && s.tryOcc(event) {
-		s.noteAdmit()
-		if h := s.waitHist(event); h != nil {
-			h.Observe(0) // immediate admission: zero wait
+	// Fast path: nothing queued, the job is under its cap, and the pool has
+	// headroom — two CASes, no lock. Declined the moment anything waits, so
+	// queued requests keep their priority against new arrivals under
+	// pressure.
+	if s.nwait.Load() == 0 && j.tryTake() {
+		if s.tryOcc(event) {
+			s.noteAdmit()
+			if h := s.waitHist(event); h != nil {
+				h.Observe(0) // immediate admission: zero wait
+			}
+			return nil
 		}
-		return nil
+		j.put()
 	}
-	return s.acquireSlow(ctx, event, todo)
+	return s.acquireSlow(ctx, event, todo, j)
 }
 
 // acquireSlow is the contended path: admission under the mutex, or a queued
-// wait ordered by the Algorithm 1 priority.
-func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int) error {
+// wait served in the weighted-fair Algorithm 1 order.
+func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int, j *Job) error {
 	s.mu.Lock()
 	if err := ctx.Err(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	h := s.waitHist(event)
-	if s.tryOcc(event) {
-		s.noteAdmit()
-		s.mu.Unlock()
-		if h != nil {
-			h.Observe(0)
+	if j.tryTake() {
+		if s.tryOcc(event) {
+			s.noteAdmit()
+			s.mu.Unlock()
+			if h != nil {
+				h.Observe(0)
+			}
+			return nil
 		}
-		return nil
+		j.put()
 	}
 	s.waited.Add(1)
 	w := waiterPool.Get().(*waiter)
-	w.event, w.todo, w.seq = event, todo, s.seq
+	w.event, w.todo, w.seq, w.job = event, todo, s.seq, j
 	s.seq++
-	heap.Push(&s.queue, w)
-	s.nwait.Store(int64(s.queue.Len()))
+	w.index = len(s.queue)
+	s.queue = append(s.queue, w)
+	s.nwait.Store(int64(len(s.queue)))
 	// Re-check now that the waiter entry is published: a Release between our
 	// failed tryOcc and the publication saw nwait == 0 and skipped the wake;
 	// this wake admits the best waiter (not necessarily us) if a slot freed.
@@ -316,6 +418,7 @@ func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int) erro
 	}
 	select {
 	case <-w.ready: // admitted by a releasing (or re-checking) goroutine
+		w.job = nil
 		waiterPool.Put(w)
 		if h != nil {
 			h.ObserveSince(t0)
@@ -328,25 +431,46 @@ func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int) erro
 			// cancellation; the slot is ours and the acquire succeeds.
 			s.mu.Unlock()
 			<-w.ready
+			w.job = nil
 			waiterPool.Put(w)
 			if h != nil {
 				h.ObserveSince(t0)
 			}
 			return nil
 		}
-		heap.Remove(&s.queue, w.index)
-		s.nwait.Store(int64(s.queue.Len()))
+		s.removeWaiter(w.index)
+		s.nwait.Store(int64(len(s.queue)))
 		s.cancelled.Add(1)
 		s.mu.Unlock()
+		w.job = nil
 		waiterPool.Put(w)
 		return ctx.Err()
 	}
 }
 
-// Release returns a slot to the pool (Algorithm 1's EXIT event) and wakes
-// the highest-priority waiting request that now fits. With no waiters it is
-// a single CAS.
-func (s *Scheduler) Release() {
+// removeWaiter deletes the wait-list entry at position i (swap with the
+// last entry). Callers must hold s.mu.
+func (s *Scheduler) removeWaiter(i int) {
+	q := s.queue
+	last := len(q) - 1
+	q[i].index = -1
+	if i != last {
+		q[i] = q[last]
+		q[i].index = i
+	}
+	q[last] = nil
+	s.queue = q[:last]
+}
+
+// Release returns an unattributed slot to the pool (Algorithm 1's EXIT
+// event) and wakes the highest-priority waiting request that now fits.
+// With no waiters it is a single CAS.
+func (s *Scheduler) Release() { s.ReleaseJob(nil) }
+
+// ReleaseJob returns a slot acquired under a job handle: the pool slot and
+// the job's in-use count are both released before waiters are re-examined,
+// so a freed share is immediately visible to the fairness order.
+func (s *Scheduler) ReleaseJob(j *Job) {
 	for {
 		o := s.occ.Load()
 		if o <= 0 {
@@ -356,6 +480,7 @@ func (s *Scheduler) Release() {
 			break
 		}
 	}
+	j.put()
 	if s.occupancy != nil {
 		s.occupancy.Set(float64(s.occ.Load()))
 	}
@@ -367,46 +492,55 @@ func (s *Scheduler) Release() {
 	s.mu.Unlock()
 }
 
-// wakeLocked admits as many queued waiters as now fit, in priority order.
-// Callers must hold s.mu.
+// wakeLocked admits as many queued waiters as now fit, best-first under the
+// weighted-fair Algorithm 1 order: per round it scans the wait list for the
+// highest-priority waiter whose job is under its cap and whose kind has
+// occupancy headroom, then takes the job slot and the pool slot for real. A
+// candidate that loses a take race (job releases run outside s.mu) is set
+// aside for the rest of this wake. Callers must hold s.mu.
 func (s *Scheduler) wakeLocked() {
-	for s.queue.Len() > 0 {
-		w := s.queue[0]
-		if !s.tryOcc(w.event) {
-			// The head is a tuning process blocked on the 75% limit; a
-			// sampling process deeper in the queue may still fit.
-			if w.event == SpawnT && s.queue.Len() > 1 {
-				if i := s.firstSampling(); i >= 0 && s.tryOcc(SpawnS) {
-					ws := s.queue[i]
-					heap.Remove(&s.queue, i)
-					s.nwait.Store(int64(s.queue.Len()))
-					s.noteAdmit()
-					ws.ready <- struct{}{}
-					continue
-				}
+	var skip map[*waiter]struct{}
+	for len(s.queue) > 0 {
+		best := -1
+		for i, w := range s.queue {
+			if _, sk := skip[w]; sk {
+				continue
 			}
+			if w.job.atCap() {
+				continue
+			}
+			if s.occ.Load() >= s.limit(w.event) {
+				// A tuning process blocked on the 75% limit (or a full
+				// sampling bound); a waiter of the other kind may still fit.
+				continue
+			}
+			if best < 0 || better(w, s.queue[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
 			return
 		}
-		heap.Pop(&s.queue)
-		s.nwait.Store(int64(s.queue.Len()))
+		w := s.queue[best]
+		took := w.job.tryTake()
+		if took && !s.tryOcc(w.event) {
+			w.job.put()
+			took = false
+		}
+		if !took {
+			// Raced with a fast-path acquire elsewhere; leave this waiter
+			// queued and look at the rest.
+			if skip == nil {
+				skip = make(map[*waiter]struct{})
+			}
+			skip[w] = struct{}{}
+			continue
+		}
+		s.removeWaiter(best)
+		s.nwait.Store(int64(len(s.queue)))
 		s.noteAdmit()
 		w.ready <- struct{}{}
 	}
-}
-
-// firstSampling returns the queue position of the best waiting sampling
-// request, or -1. Callers must hold s.mu.
-func (s *Scheduler) firstSampling() int {
-	best := -1
-	for i, w := range s.queue {
-		if w.event != SpawnS {
-			continue
-		}
-		if best == -1 || waitQueue(s.queue).Less(i, best) {
-			best = i
-		}
-	}
-	return best
 }
 
 // InUse reports the number of currently admitted processes.
