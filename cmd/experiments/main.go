@@ -80,9 +80,15 @@ func benchReport(out, baseline string) int {
 		return 1
 	}
 	results = append(results, multi...)
+	wire, err := bench.RemotePerf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: wire perf:", err)
+		return 1
+	}
+	results = append(results, wire...)
 	rep := bench.PerfReport{
-		PR:         5,
-		Note:       "multi-tenant Runtime: shared scheduler pool with weighted fair admission, job-multiplexed worker fleet, per-job metric labels",
+		PR:         6,
+		Note:       "zero-copy remote transport: pooled wire buffers, mux chunk interleaving, pluggable transports, per-transport latency histograms",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 		Baseline:   bench.PrePRBaseline(),
@@ -104,6 +110,9 @@ func benchReport(out, baseline string) int {
 		line := fmt.Sprintf("%-22s %12.1f ns/op %8d allocs/op %10d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
 		if r.SamplesPerSec > 0 {
 			line += fmt.Sprintf(" %12.0f samples/sec", r.SamplesPerSec)
+		}
+		if r.P99NsPerOp > 0 {
+			line += fmt.Sprintf(" %12.0f ns p99", r.P99NsPerOp)
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}

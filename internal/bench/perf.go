@@ -29,13 +29,16 @@ const HotPathBench = "sampling_hot_path"
 // comparable.
 const perfSamples = 256
 
-// PerfResult is one benchmark measurement.
+// PerfResult is one benchmark measurement. P99NsPerOp, when nonzero, is a
+// latency tail (the wire layer's dispatch/rpc histograms) rather than a
+// mean, and is gated with a wider tolerance — tails are noisier than means.
 type PerfResult struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	P99NsPerOp    float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // PerfReport is the schema of BENCH_<pr>.json: the current measurements
@@ -218,6 +221,22 @@ func ComparePerf(cur, base []PerfResult, tol float64) []string {
 				"%s allocations regressed: %d allocs/op vs baseline %d (+%.0f%%, tolerance %.0f%%)",
 				c.Name, c.AllocsPerOp, b.AllocsPerOp,
 				100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol))
+		}
+		// A baseline of 0 allocs/op is an absolute promise (the zero-copy
+		// wire paths): any allocation at all is a regression, since the
+		// multiplicative tolerance above cannot catch 0 -> n.
+		if b.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocations regressed: %d allocs/op vs a zero-alloc baseline",
+				c.Name, c.AllocsPerOp))
+		}
+		// Latency tails get 4x the tolerance: a p99 is one order statistic,
+		// far noisier than a mean over b.N iterations.
+		if b.P99NsPerOp > 0 && c.P99NsPerOp > b.P99NsPerOp*(1+4*tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s p99 latency regressed: %.0f ns vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+				c.Name, c.P99NsPerOp, b.P99NsPerOp,
+				100*(c.P99NsPerOp/b.P99NsPerOp-1), 400*tol))
 		}
 	}
 	return regressions

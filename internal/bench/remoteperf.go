@@ -1,0 +1,26 @@
+package bench
+
+import "repro/internal/remote"
+
+// RemotePerf measures the zero-copy wire layer — codec and frame throughput
+// plus the loopback dispatch/rpc latency tails — and adapts the points into
+// the perf-report schema so `experiments -bench-json` gates on them like any
+// other benchmark. The encode paths report 0 allocs/op by construction; the
+// allocation gate in CI holds them there.
+func RemotePerf() ([]PerfResult, error) {
+	pts, err := remote.WirePerf()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PerfResult, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, PerfResult{
+			Name:        p.Name,
+			NsPerOp:     p.NsPerOp,
+			AllocsPerOp: p.AllocsPerOp,
+			BytesPerOp:  p.BytesPerOp,
+			P99NsPerOp:  p.P99NsPerOp,
+		})
+	}
+	return out, nil
+}

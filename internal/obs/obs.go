@@ -124,6 +124,41 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// target rank, the standard fixed-bucket estimate. Observations beyond the
+// last finite bound clamp to that bound, and an empty histogram reports 0.
+// Accuracy is bounded by bucket width — pick fine buckets (see
+// FineDurationBuckets) for latency gates.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= target && n > 0 {
+			if i >= len(h.upper) {
+				return h.upper[len(h.upper)-1] // +Inf bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (h.upper[i]-lo)*(target-cum)/n
+		}
+		cum += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // Buckets returns the upper bounds (without +Inf) and the cumulative count
 // per bound, plus the +Inf cumulative count as the final element.
 func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
@@ -156,6 +191,11 @@ func ExpBuckets(start, factor float64, count int) []float64 {
 // DurationBuckets are the default latency buckets: 1µs to ~4.2s in powers
 // of four, a spread that covers sample bodies and whole tuning runs.
 func DurationBuckets() []float64 { return ExpBuckets(1e-6, 4, 12) }
+
+// FineDurationBuckets are latency buckets at microsecond resolution: 1µs to
+// ~2.1s in powers of two. Use them where a tail quantile feeds a gate (the
+// remote dispatch p99) and power-of-four widths would dominate the estimate.
+func FineDurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 22) }
 
 // SizeBuckets are the default count/size buckets: 1 to 512 in powers of two.
 func SizeBuckets() []float64 { return ExpBuckets(1, 2, 10) }

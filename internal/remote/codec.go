@@ -12,22 +12,23 @@ import (
 )
 
 // protocolVersion is negotiated in the hello frame; a mismatch rejects the
-// connection rather than misparsing frames. Version 2 namespaces snapshots
-// and rounds by tuning job so one worker fleet serves many jobs of a shared
-// Runtime without cross-job cache interference.
-const protocolVersion = 2
+// connection rather than misparsing frames. Version 3 adds mux chunk frames
+// (large messages interleave as mChunk streams, see mux.go) on top of
+// version 2's job-namespaced snapshots and rounds.
+const protocolVersion = 3
 
 // Message type bytes (first payload byte of every frame).
 const (
-	mHello    byte = 1 // worker -> dispatcher: name, slots, version
-	mSnapshot byte = 2 // dispatcher -> worker: content-hashed exposed-store snapshot
-	mRound    byte = 3 // dispatcher -> worker: one sampling round's recipe
-	mTask     byte = 4 // dispatcher -> worker: run one sampling-process attempt
-	mResults  byte = 5 // worker -> dispatcher: a batch of finished samples
-	mEndRound byte = 6 // dispatcher -> worker: forget a round
-	mDrain    byte = 7 // worker -> dispatcher: draining, assign nothing new
-	mBye      byte = 8 // worker -> dispatcher: all in-flight flushed, closing
-	mEndJob   byte = 9 // dispatcher -> worker: a job closed, drop its snapshots
+	mHello    byte = 1  // worker -> dispatcher: name, slots, version
+	mSnapshot byte = 2  // dispatcher -> worker: content-hashed exposed-store snapshot
+	mRound    byte = 3  // dispatcher -> worker: one sampling round's recipe
+	mTask     byte = 4  // dispatcher -> worker: run one sampling-process attempt
+	mResults  byte = 5  // worker -> dispatcher: a batch of finished samples
+	mEndRound byte = 6  // dispatcher -> worker: forget a round
+	mDrain    byte = 7  // worker -> dispatcher: draining, assign nothing new
+	mBye      byte = 8  // worker -> dispatcher: all in-flight flushed, closing
+	mEndJob   byte = 9  // dispatcher -> worker: a job closed, drop its snapshots
+	mChunk    byte = 10 // either direction: one chunk of an interleaved message
 )
 
 // snapKey names one cached snapshot: job-scoped so co-tenant jobs of a
@@ -124,6 +125,54 @@ func (r *rbuf) str() string {
 	s := string(r.b[:n])
 	r.b = r.b[n:]
 	return s
+}
+
+// strIn reads a string through d's intern table when d is non-nil: repeated
+// names (parameter and commit keys recur every sample) resolve to one shared
+// string with no allocation on the hit path — the map lookup on string(b)
+// bytes compiles to an allocation-free probe.
+func (r *rbuf) strIn(d *decoder) string {
+	n := r.uv()
+	if r.err != nil || uint64(len(r.b)) < n {
+		r.fail()
+		return ""
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	if n == 0 {
+		return ""
+	}
+	if d != nil {
+		if s, ok := d.names[string(b)]; ok {
+			return s
+		}
+		s := string(b)
+		if len(d.names) < internTableCap {
+			d.names[s] = s
+		}
+		return s
+	}
+	return string(b)
+}
+
+// internTableCap bounds a decoder's intern table so a peer emitting unique
+// names cannot grow it without bound.
+const internTableCap = 1024
+
+// decoder is per-connection decode scratch: the result batch slice and the
+// name intern table are reused across frames, so steady-state result
+// decoding allocates only what escapes into the tuner's stores (the decoded
+// values and per-result key slices), never the batch plumbing. Not safe for
+// concurrent use; each read loop owns one.
+type decoder struct {
+	names map[string]string
+	batch []resultMsg
+}
+
+func (d *decoder) init() {
+	if d.names == nil {
+		d.names = make(map[string]string, 32)
+	}
 }
 
 // count reads a collection length and validates it against a per-element
@@ -405,13 +454,19 @@ type taskMsg struct {
 	Attempt int
 }
 
-func encodeTask(m taskMsg) []byte {
-	w := &wbuf{}
+// appendTask encodes a task message into w (the steady-state dispatch path
+// encodes straight into a pooled frame buffer).
+func appendTask(w *wbuf, m taskMsg) {
 	w.byte(mTask)
 	w.uv(m.ID)
 	w.uv(m.Round)
 	w.uv(uint64(m.Group))
 	w.uv(uint64(m.Attempt))
+}
+
+func encodeTask(m taskMsg) []byte {
+	w := &wbuf{}
+	appendTask(w, m)
 	return w.b
 }
 
@@ -470,7 +525,7 @@ func appendExecResult(w *wbuf, res core.ExecResult, vt *ValueTable) error {
 	return nil
 }
 
-func readExecResult(r *rbuf, vt *ValueTable) (core.ExecResult, error) {
+func readExecResult(r *rbuf, vt *ValueTable, d *decoder) (core.ExecResult, error) {
 	flags := r.byte()
 	res := core.ExecResult{
 		Pruned:      flags&frPruned != 0,
@@ -487,14 +542,14 @@ func readExecResult(r *rbuf, vt *ValueTable) (core.ExecResult, error) {
 		res.Params = make([]core.ParamKV, 0, np)
 	}
 	for i := 0; i < np && r.err == nil; i++ {
-		res.Params = append(res.Params, core.ParamKV{Name: r.str(), Value: r.f64()})
+		res.Params = append(res.Params, core.ParamKV{Name: r.strIn(d), Value: r.f64()})
 	}
 	nc := r.count(2)
 	if nc > 0 {
 		res.Commits = make([]core.CommitKV, 0, nc)
 	}
 	for i := 0; i < nc && r.err == nil; i++ {
-		name := r.str()
+		name := r.strIn(d)
 		v, err := readValue(r, vt)
 		if err != nil {
 			return res, err
@@ -504,30 +559,53 @@ func readExecResult(r *rbuf, vt *ValueTable) (core.ExecResult, error) {
 	return res, r.err
 }
 
-func encodeResults(batch []resultMsg, vt *ValueTable) ([]byte, error) {
-	w := &wbuf{}
+// appendResults encodes a result batch into w. On an unserializable value it
+// returns the encode error with w in an undefined state; callers degrade per
+// sample (see wconn.flush).
+func appendResults(w *wbuf, batch []resultMsg, vt *ValueTable) error {
 	w.byte(mResults)
 	w.uv(uint64(len(batch)))
 	for _, m := range batch {
 		w.uv(m.ID)
 		if err := appendExecResult(w, m.Res, vt); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+func encodeResults(batch []resultMsg, vt *ValueTable) ([]byte, error) {
+	w := &wbuf{}
+	if err := appendResults(w, batch, vt); err != nil {
+		return nil, err
 	}
 	return w.b, nil
 }
 
-func decodeResults(b []byte, vt *ValueTable) ([]resultMsg, error) {
+// decodeResults decodes a result batch, reusing d's batch slice and intern
+// table when d is non-nil. The returned slice is then valid only until the
+// next decodeResults call on the same decoder; the resultMsg values it holds
+// may be copied out freely.
+func decodeResults(b []byte, vt *ValueTable, d *decoder) ([]resultMsg, error) {
 	r := &rbuf{b: b}
 	n := r.count(2)
-	out := make([]resultMsg, 0, n)
+	var out []resultMsg
+	if d != nil {
+		d.init()
+		out = d.batch[:0]
+	} else {
+		out = make([]resultMsg, 0, n)
+	}
 	for i := 0; i < n && r.err == nil; i++ {
 		id := r.uv()
-		res, err := readExecResult(r, vt)
+		res, err := readExecResult(r, vt, d)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, resultMsg{ID: id, Res: res})
+	}
+	if d != nil {
+		d.batch = out
 	}
 	return out, r.done()
 }

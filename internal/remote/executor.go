@@ -1,7 +1,10 @@
 package remote
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -9,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/remote/transport"
 	"repro/internal/store"
 )
 
@@ -54,6 +58,7 @@ type NetExecutor struct {
 	queue     []*call
 	nextCall  uint64
 	nextRound uint64
+	rr        int // fast-path rotation cursor, spreads light load
 	closed    bool
 
 	snapMu sync.Mutex
@@ -86,18 +91,36 @@ func NewExecutor(opts ExecutorOptions) *NetExecutor {
 type dworker struct {
 	ex    *NetExecutor
 	c     net.Conn
+	wire  *wire
 	name  string
 	slots int
 	m     *workerMetrics
 
-	wmu        sync.Mutex // serializes whole frames onto c
+	// shipMu orders one worker's control frames: under it, a round frame
+	// always hits the connection before the tasks that reference it, even
+	// when the pump and a fast-path Execute ship concurrently. Snapshots are
+	// exempt — they ride the bulk lane and tasks park worker-side until
+	// theirs lands.
+	shipMu     sync.Mutex
 	sentSnaps  map[snapKey]bool
 	sentRounds map[uint64]bool
+
+	// bulkq feeds the bulk-lane goroutine, which streams snapshot ships as
+	// interleavable chunk frames so a multi-megabyte @load state never
+	// head-of-line blocks other jobs' rounds and tasks on this connection.
+	bulkq chan bulkItem
+	stop  chan struct{} // closed by fail; releases the bulk lane
 
 	// Guarded by ex.mu.
 	inflight map[uint64]*call
 	dead     bool
 	draining bool
+}
+
+// bulkItem is one snapshot ship queued on the bulk lane.
+type bulkItem struct {
+	job, hash uint64
+	data      []byte
 }
 
 // call is one Execute invocation in flight.
@@ -134,11 +157,18 @@ type roundState struct {
 
 // Dial connects to a worker's TCP listen address and adds it to the fleet.
 func (ex *NetExecutor) Dial(addr string) error {
-	c, err := net.Dial("tcp", addr)
+	return ex.DialTransport(transport.TCP(), addr)
+}
+
+// DialTransport connects to a worker through t (TCP, unix socket, TLS, or an
+// in-memory pipe) and adds it to the fleet; the worker's dispatch metrics
+// carry t's name as the transport label.
+func (ex *NetExecutor) DialTransport(t transport.Transport, addr string) error {
+	c, err := t.Dial(addr)
 	if err != nil {
 		return err
 	}
-	if err := ex.AddConn(c); err != nil {
+	if err := ex.addConn(c, t.Name()); err != nil {
 		c.Close()
 		return err
 	}
@@ -147,10 +177,17 @@ func (ex *NetExecutor) Dial(addr string) error {
 
 // AddConn adds one worker connection to the fleet. It performs the hello
 // handshake synchronously (bounded by helloTimeout) and then starts the
-// connection's pump and reader.
+// connection's pump and reader. Connections established out-of-band label
+// their metrics transport="pipe" (the loopback case); use DialTransport to
+// carry a real transport name.
 func (ex *NetExecutor) AddConn(conn net.Conn) error {
+	return ex.addConn(conn, "pipe")
+}
+
+func (ex *NetExecutor) addConn(conn net.Conn, transportName string) error {
 	conn.SetDeadline(time.Now().Add(helloTimeout))
 	payload, err := readFrame(conn, nil)
+	defer freeBuf(payload)
 	if err != nil {
 		return fmt.Errorf("remote: worker hello: %w", err)
 	}
@@ -181,15 +218,19 @@ func (ex *NetExecutor) AddConn(conn net.Conn) error {
 			name = fmt.Sprintf("%s-%d", hello.Name, len(ex.workers))
 		}
 	}
-	m := newWorkerMetrics(ex.opts.Obs, name)
+	m := newWorkerMetrics(ex.opts.Obs, name, transportName)
+	cc := &countingConn{Conn: conn, m: m}
 	w := &dworker{
 		ex:         ex,
-		c:          &countingConn{Conn: conn, m: m},
+		c:          cc,
+		wire:       newWire(cc),
 		name:       name,
 		slots:      hello.Slots,
 		m:          m,
 		sentSnaps:  make(map[snapKey]bool),
 		sentRounds: make(map[uint64]bool),
+		bulkq:      make(chan bulkItem, 8),
+		stop:       make(chan struct{}),
 		inflight:   make(map[uint64]*call),
 	}
 	ex.workers = append(ex.workers, w)
@@ -197,6 +238,7 @@ func (ex *NetExecutor) AddConn(conn net.Conn) error {
 	ex.mu.Unlock()
 
 	go w.pump()
+	go w.bulkLoop()
 	go w.readLoop()
 	return nil
 }
@@ -244,9 +286,19 @@ func (ex *NetExecutor) snapshotFor(job uint64, e *store.Exposed) ([]byte, uint64
 	if err != nil {
 		return nil, 0, err
 	}
+	// Enforce the wire cap at encode time: an exposed store too large to
+	// ship fails the round over to the in-process path instead of letting
+	// the worker drop the connection on an oversized frame.
+	if len(data)+snapshotOverhead > maxMessage {
+		return nil, 0, fmt.Errorf("%w: %d-byte exposed-store snapshot", ErrMessageTooBig, len(data))
+	}
 	ex.snaps[job] = &jobSnap{store: e, ver: ver, data: data, hash: hash}
 	return data, hash, nil
 }
+
+// snapshotOverhead bounds the snapshot message's framing prefix (type byte,
+// job uvarint, content hash).
+const snapshotOverhead = 1 + binary.MaxVarintLen64 + 8
 
 // BeginRound prepares one sampling round for dispatch: resolve or publish
 // the region's registration, encode the exposed-store snapshot, and encode
@@ -309,12 +361,12 @@ func (ex *NetExecutor) EndRound(handle any) {
 	ex.mu.Unlock()
 	payload := encodeEndRound(rs.id)
 	for _, w := range workers {
-		w.wmu.Lock()
+		w.shipMu.Lock()
 		if w.sentRounds[rs.id] {
 			delete(w.sentRounds, rs.id)
-			writeFrame(w.c, payload)
+			w.wire.writeMsg(payload)
 		}
-		w.wmu.Unlock()
+		w.shipMu.Unlock()
 	}
 	if rs.dyn != 0 {
 		ex.opts.Registry.releaseDynamic(rs.dyn)
@@ -340,7 +392,7 @@ func (ex *NetExecutor) EndJob(job uint64) {
 	ex.mu.Unlock()
 	payload := encodeEndJob(job)
 	for _, w := range workers {
-		w.wmu.Lock()
+		w.shipMu.Lock()
 		sent := false
 		for sk := range w.sentSnaps {
 			if sk.job == job {
@@ -349,9 +401,9 @@ func (ex *NetExecutor) EndJob(job uint64) {
 			}
 		}
 		if sent {
-			writeFrame(w.c, payload)
+			w.wire.writeMsg(payload)
 		}
-		w.wmu.Unlock()
+		w.shipMu.Unlock()
 	}
 }
 
@@ -370,9 +422,39 @@ func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt i
 	}
 	ex.nextCall++
 	c.id = ex.nextCall
-	ex.queue = append(ex.queue, c)
-	ex.cond.Broadcast()
+	// Fast path: with an empty queue and a live worker holding a free slot,
+	// claim the call inline and ship it from this goroutine — skipping the
+	// pump wakeup and handoff, which dominate loopback dispatch latency at
+	// small fleet sizes. The queue-empty check keeps FIFO fairness: nothing
+	// ever overtakes a waiting call.
+	var fast *dworker
+	if len(ex.queue) == 0 {
+		start := ex.rr
+		ex.rr++
+		for i := range ex.workers {
+			w := ex.workers[(start+i)%len(ex.workers)]
+			if !w.dead && !w.draining && len(w.inflight) < w.slots {
+				fast = w
+				w.inflight[c.id] = c
+				c.worker = w
+				c.sent = time.Now()
+				w.m.setInflight(len(w.inflight))
+				break
+			}
+		}
+	}
+	if fast == nil {
+		ex.queue = append(ex.queue, c)
+		ex.cond.Broadcast()
+	}
 	ex.mu.Unlock()
+	if fast != nil {
+		fast.m.observeDispatch(c.enq, c.sent)
+		if err := fast.ship(c); err != nil {
+			// fail bounces our in-flight call through c.done below.
+			ex.fail(fast, err)
+		}
+	}
 
 	select {
 	case out := <-c.done:
@@ -426,60 +508,109 @@ func (w *dworker) pump() {
 	}
 }
 
-// ship writes (at most) three frames for one claimed call: the snapshot if
-// this worker has not seen this content hash, the round recipe if it has
-// not seen this round, and the task itself.
+// ship sends one claimed call: the snapshot is queued on the bulk lane if
+// this worker has not seen this content hash, the round recipe is written if
+// it has not seen this round, and then the task itself — all encoded into
+// pooled frame buffers, allocation-free in the steady state. shipMu keeps
+// the round frame ahead of its tasks on the connection even when the pump
+// and a fast-path Execute ship concurrently; the snapshot intentionally
+// bypasses that ordering (tasks park worker-side until it lands) so a large
+// @load state never head-of-line blocks the fleet.
 func (w *dworker) ship(c *call) error {
-	w.wmu.Lock()
-	defer w.wmu.Unlock()
+	w.shipMu.Lock()
+	defer w.shipMu.Unlock()
 	rs := c.r
 	sk := snapKey{job: rs.job, hash: rs.snapHash}
-	if rs.snapData != nil && !w.sentSnaps[sk] {
-		if w.m != nil {
-			w.m.snapMisses.Inc()
-		}
-		wb := &wbuf{}
-		wb.byte(mSnapshot)
-		wb.uv(rs.job)
-		wb.u64(rs.snapHash)
-		wb.b = append(wb.b, rs.snapData...)
-		if err := writeFrame(w.c, wb.b); err != nil {
-			return err
-		}
-		w.sentSnaps[sk] = true
-	} else if rs.snapData != nil {
-		if w.m != nil {
+	if rs.snapData != nil {
+		if !w.sentSnaps[sk] {
+			if w.m != nil {
+				w.m.snapMisses.Inc()
+			}
+			w.sentSnaps[sk] = true
+			select {
+			case w.bulkq <- bulkItem{job: rs.job, hash: rs.snapHash, data: rs.snapData}:
+			case <-w.stop:
+				return errWorkerStopped
+			}
+		} else if w.m != nil {
 			w.m.snapHits.Inc()
 		}
 	}
 	if !w.sentRounds[rs.id] {
-		if err := writeFrame(w.c, rs.payload); err != nil {
+		if err := w.wire.writeMsg(rs.payload); err != nil {
 			return err
 		}
 		w.sentRounds[rs.id] = true
 	}
-	return writeFrame(w.c, encodeTask(taskMsg{ID: c.id, Round: rs.id, Group: c.group, Attempt: c.attempt}))
+	wb := getFrameBuf()
+	appendTask(wb, taskMsg{ID: c.id, Round: rs.id, Group: c.group, Attempt: c.attempt})
+	err := w.wire.writeBuf(wb)
+	putFrameBuf(wb)
+	return err
+}
+
+var errWorkerStopped = errors.New("remote: worker connection stopped")
+
+// bulkLoop is the connection's snapshot lane: it streams queued snapshot
+// ships as chunk frames, releasing the wire between chunks so rounds, tasks,
+// and results of other jobs interleave into the gaps instead of waiting out
+// the transfer.
+func (w *dworker) bulkLoop() {
+	var hdr wbuf
+	for {
+		select {
+		case it := <-w.bulkq:
+			hdr.b = hdr.b[:0]
+			hdr.byte(mSnapshot)
+			hdr.uv(it.job)
+			hdr.u64(it.hash)
+			if err := w.wire.writeMsg(hdr.b, it.data); err != nil {
+				w.ex.fail(w, err)
+				return
+			}
+		case <-w.stop:
+			return
+		}
+	}
 }
 
 // readLoop consumes worker frames: result batches, the drain announcement,
-// and the goodbye. Any error fails the worker.
+// and the goodbye. Chunked messages reassemble through the demux; decode
+// scratch (frame buffer, batch slice, name interning) is connection-owned
+// and reused, so the steady-state result path does not allocate per frame.
+// Any error fails the worker.
 func (w *dworker) readLoop() {
 	ex := w.ex
+	dmx := newDemux()
+	defer dmx.close()
+	var dec decoder
 	var buf []byte
+	defer func() { freeBuf(buf) }()
+	// Buffer the conn so header and payload of a small frame cost one Read
+	// (one wakeup on synchronous pipes) instead of two.
+	br := bufio.NewReaderSize(w.c, readBufSize)
 	for {
-		payload, err := readFrame(w.c, buf)
+		payload, err := readFrame(br, buf)
+		buf = payload // adopt even on error: readFrame may have recycled buf
 		if err != nil {
 			ex.fail(w, err)
 			return
 		}
-		buf = payload
-		if len(payload) == 0 {
+		msg, pooled, err := dmx.feed(payload)
+		if err != nil {
+			ex.fail(w, err)
+			return
+		}
+		if msg == nil {
+			continue // mid-stream chunk
+		}
+		if len(msg) == 0 {
 			ex.fail(w, errCodec)
 			return
 		}
-		switch payload[0] {
+		switch msg[0] {
 		case mResults:
-			batch, err := decodeResults(payload[1:], ex.opts.Values)
+			batch, err := decodeResults(msg[1:], ex.opts.Values, &dec)
 			if err != nil {
 				ex.fail(w, err)
 				return
@@ -496,8 +627,11 @@ func (w *dworker) readLoop() {
 			ex.fail(w, errWorkerBye)
 			return
 		default:
-			ex.fail(w, fmt.Errorf("%w: unexpected frame type %d", errCodec, payload[0]))
+			ex.fail(w, fmt.Errorf("%w: unexpected frame type %d", errCodec, msg[0]))
 			return
+		}
+		if pooled {
+			freeBuf(msg)
 		}
 	}
 }
@@ -534,6 +668,7 @@ func (ex *NetExecutor) fail(w *dworker, cause error) {
 		return
 	}
 	w.dead = true
+	close(w.stop) // releases the bulk lane and any ship blocked feeding it
 	orphans := make([]*call, 0, len(w.inflight))
 	for id, c := range w.inflight {
 		delete(w.inflight, id)

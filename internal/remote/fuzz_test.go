@@ -90,7 +90,7 @@ func FuzzFrameDecode(f *testing.F) {
 					}
 				}
 			case mResults:
-				ms, err := decodeResults(body, nil)
+				ms, err := decodeResults(body, nil, nil)
 				if err != nil {
 					continue
 				}
@@ -98,7 +98,7 @@ func FuzzFrameDecode(f *testing.F) {
 				if err != nil {
 					t.Fatalf("re-encode of decoded results failed: %v", err)
 				}
-				ms2, err := decodeResults(b[1:], nil)
+				ms2, err := decodeResults(b[1:], nil, nil)
 				if err != nil || fmt.Sprintf("%#v", ms2) != fmt.Sprintf("%#v", ms) {
 					t.Fatalf("results round trip diverged: %v", err)
 				}
@@ -120,6 +120,73 @@ func FuzzFrameDecode(f *testing.F) {
 				if err != nil || fmt.Sprintf("%#v", e2.Entries()) != fmt.Sprintf("%#v", e.Entries()) {
 					t.Fatalf("snapshot round trip diverged: %v", err)
 				}
+			}
+		}
+	})
+}
+
+// FuzzMuxDecode feeds arbitrary bytes through the chunk reassembly path
+// exactly as a read loop would: frame split, then demux. Nothing may panic,
+// no reassembled message may exceed the wire cap, and frame errors must
+// leave the demux droppable (close releases whatever was half-assembled).
+// The seed corpus in testdata covers split-boundary chunking and hostile
+// max-frame-size announcements.
+func FuzzMuxDecode(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		b := make([]byte, frameHeader+len(payload))
+		binary.BigEndian.PutUint32(b, uint32(len(payload)))
+		copy(b[frameHeader:], payload)
+		return b
+	}
+	// Single-chunk stream.
+	f.Add(frame(chunkFrame(1, chunkFirst|chunkLast, 2, []byte("ok"))))
+	// Two-chunk split plus a small passthrough frame in the gap.
+	f.Add(bytes.Join([][]byte{
+		frame(chunkFrame(2, chunkFirst, 6, []byte("abc"))),
+		frame(encodeEndRound(9)),
+		frame(chunkFrame(2, chunkLast, 0, []byte("def"))),
+	}, nil))
+	// Interleaved streams completing out of order.
+	f.Add(bytes.Join([][]byte{
+		frame(chunkFrame(3, chunkFirst, 4, []byte("aa"))),
+		frame(chunkFrame(4, chunkFirst|chunkLast, 2, []byte("bb"))),
+		frame(chunkFrame(3, chunkLast, 0, []byte("aa"))),
+	}, nil))
+	// Hostile announcements: total at the cap, just past it, and a frame
+	// header claiming maxFrame with no body behind it.
+	f.Add(frame(chunkFrame(5, chunkFirst, maxMessage, []byte("x"))))
+	f.Add(frame(chunkFrame(5, chunkFirst, maxMessage+1, []byte("x"))))
+	f.Add([]byte{0x04, 0x00, 0x00, 0x00, 1, 2, 3})
+	// Stream reopen and unknown-stream chunks.
+	f.Add(bytes.Join([][]byte{
+		frame(chunkFrame(6, chunkFirst, 8, []byte("abc"))),
+		frame(chunkFrame(6, chunkFirst, 8, []byte("abc"))),
+	}, nil))
+	f.Add(frame(chunkFrame(7, chunkLast, 0, []byte("zz"))))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		dmx := newDemux()
+		defer dmx.close()
+		var buf []byte
+		for i := 0; i < 128; i++ {
+			payload, err := readFrame(r, buf)
+			if err != nil {
+				return
+			}
+			buf = payload
+			msg, pooled, err := dmx.feed(payload)
+			if err != nil {
+				return
+			}
+			if msg == nil {
+				continue
+			}
+			if len(msg) > maxMessage {
+				t.Fatalf("reassembled message of %d bytes exceeds the wire cap", len(msg))
+			}
+			if pooled {
+				freeBuf(msg)
 			}
 		}
 	})

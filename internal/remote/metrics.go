@@ -7,12 +7,15 @@ import (
 	"repro/internal/obs"
 )
 
-// Dispatcher-side metric names, all labeled worker=<name>.
+// Dispatcher-side metric names, all labeled worker=<name>; the latency
+// histograms additionally carry transport=<tcp|unix|tls|mem|pipe> so a mixed
+// fleet's per-transport tails stay separable.
 const (
 	// MetricInflight gauges samples currently dispatched to a worker.
 	MetricInflight = "wbtuner_remote_inflight"
 	// MetricDispatchSeconds observes queue wait: Execute enqueue until a
-	// worker claims the sample (the steal latency).
+	// worker claims the sample (the steal latency). Fine-grained buckets:
+	// its p99 feeds the CI perf gate.
 	MetricDispatchSeconds = "wbtuner_remote_dispatch_seconds"
 	// MetricRPCSeconds observes the wire round trip: task frame written
 	// until the result frame arrived.
@@ -41,7 +44,7 @@ type workerMetrics struct {
 	failures   *obs.Counter
 }
 
-func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
+func newWorkerMetrics(reg *obs.Registry, worker, transport string) *workerMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -54,8 +57,8 @@ func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
 	reg.SetHelp(MetricWorkerFailures, "worker connections lost with in-flight samples reassigned")
 	return &workerMetrics{
 		inflight:   reg.Gauge(MetricInflight, "worker", worker),
-		dispatch:   reg.Histogram(MetricDispatchSeconds, obs.DurationBuckets(), "worker", worker),
-		rpc:        reg.Histogram(MetricRPCSeconds, obs.DurationBuckets(), "worker", worker),
+		dispatch:   reg.Histogram(MetricDispatchSeconds, obs.FineDurationBuckets(), "worker", worker, "transport", transport),
+		rpc:        reg.Histogram(MetricRPCSeconds, obs.DurationBuckets(), "worker", worker, "transport", transport),
 		snapHits:   reg.Counter(MetricSnapshotHits, "worker", worker),
 		snapMisses: reg.Counter(MetricSnapshotMisses, "worker", worker),
 		bytesIn:    reg.Counter(MetricBytes, "worker", worker, "dir", "in"),

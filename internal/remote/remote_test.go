@@ -454,7 +454,7 @@ func TestCodecRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatalf("encodeResults: %v", err)
 	}
-	got, err := decodeResults(bb[1:], nil)
+	got, err := decodeResults(bb[1:], nil, nil)
 	if err != nil || !reflect.DeepEqual(got, batch) {
 		t.Fatalf("results round trip:\n got %+v\nwant %+v\nerr %v", got, batch, err)
 	}
@@ -475,7 +475,7 @@ func TestCodecOpaqueValueNeedsTable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("encode with table: %v", err)
 	}
-	got, err := decodeResults(b[1:], vt)
+	got, err := decodeResults(b[1:], vt, nil)
 	if err != nil {
 		t.Fatalf("decode with table: %v", err)
 	}

@@ -1,0 +1,67 @@
+// Package transport is the pluggable dial/listen seam between dispatchers
+// and workers (the v2ray transport/internet idiom, scaled down): the remote
+// protocol speaks to net.Conn and net.Listener only, and a Transport decides
+// how those come to exist — TCP, unix-domain sockets, TLS over TCP, or an
+// in-memory pipe for tests. The protocol bytes are identical on every
+// transport, which is what lets one parity suite assert byte-identical
+// tuning results across the whole matrix.
+package transport
+
+import (
+	"crypto/tls"
+	"net"
+)
+
+// A Transport dials and listens for worker connections. Name labels
+// per-transport metrics and selects transports on the wbtune-worker command
+// line.
+type Transport interface {
+	Name() string
+	Dial(addr string) (net.Conn, error)
+	Listen(addr string) (net.Listener, error)
+}
+
+// netTransport wraps the stdlib dialer/listener for one network.
+type netTransport struct {
+	name    string
+	network string
+}
+
+func (t netTransport) Name() string { return t.name }
+
+func (t netTransport) Dial(addr string) (net.Conn, error) {
+	return net.Dial(t.network, addr)
+}
+
+func (t netTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen(t.network, addr)
+}
+
+// TCP is the default production transport; addresses are host:port.
+func TCP() Transport { return netTransport{name: "tcp", network: "tcp"} }
+
+// Unix carries the protocol over unix-domain sockets; addresses are socket
+// paths. Same-host fleets skip the loopback TCP stack.
+func Unix() Transport { return netTransport{name: "unix", network: "unix"} }
+
+// TLSTransport carries the protocol over TLS on TCP. Dial uses ClientConfig,
+// Listen uses ServerConfig; a side that never plays the corresponding role
+// may leave its config nil.
+type TLSTransport struct {
+	ClientConfig *tls.Config
+	ServerConfig *tls.Config
+}
+
+func (t *TLSTransport) Name() string { return "tls" }
+
+func (t *TLSTransport) Dial(addr string) (net.Conn, error) {
+	return tls.Dial("tcp", addr, t.ClientConfig)
+}
+
+func (t *TLSTransport) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tls.NewListener(ln, t.ServerConfig), nil
+}

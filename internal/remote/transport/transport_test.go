@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// echoOnce round-trips one message through a Transport: listen, dial, write
+// from the client, echo from the server, read back.
+func echoOnce(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("%s: listen: %v", tr.Name(), err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = io.Copy(c, c)
+		done <- err
+	}()
+	c, err := tr.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("%s: dial: %v", tr.Name(), err)
+	}
+	msg := []byte("wbtune transport check")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("%s: write: %v", tr.Name(), err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("%s: read: %v", tr.Name(), err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("%s: echoed %q", tr.Name(), got)
+	}
+	c.Close()
+	if err := <-done; err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		// Echo loop errors after the client hung up are expected noise.
+		t.Logf("%s: echo side: %v", tr.Name(), err)
+	}
+}
+
+func TestTCPEcho(t *testing.T)  { echoOnce(t, TCP(), "127.0.0.1:0") }
+func TestUnixEcho(t *testing.T) { echoOnce(t, Unix(), filepath.Join(t.TempDir(), "w.sock")) }
+
+func TestTLSEcho(t *testing.T) {
+	tr, err := SelfSigned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoOnce(t, tr, "127.0.0.1:0")
+}
+
+func TestMemEcho(t *testing.T) { echoOnce(t, NewMem(), "fleet-a") }
+
+func TestNames(t *testing.T) {
+	for _, c := range []struct {
+		tr   Transport
+		want string
+	}{{TCP(), "tcp"}, {Unix(), "unix"}, {&TLSTransport{}, "tls"}, {NewMem(), "mem"}} {
+		if got := c.tr.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMemSemantics(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("nowhere"); err == nil {
+		t.Error("dial with no listener succeeded")
+	}
+	ln, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("a"); err == nil {
+		t.Error("second listener on one address succeeded")
+	}
+	if ln.Addr().String() != "a" || ln.Addr().Network() != "mem" {
+		t.Errorf("listener addr = %v/%v", ln.Addr().Network(), ln.Addr())
+	}
+	// Dial completes only when paired with an Accept.
+	type dialRes struct {
+		c   net.Conn
+		err error
+	}
+	dialed := make(chan dialRes, 1)
+	go func() {
+		c, err := m.Dial("a")
+		dialed <- dialRes{c, err}
+	}()
+	sc, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := <-dialed
+	if dr.err != nil {
+		t.Fatal(dr.err)
+	}
+	// The pair is connected: bytes flow both ways.
+	go sc.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	dr.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(dr.c, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("pipe pair: %q %v", buf, err)
+	}
+	sc.Close()
+	dr.c.Close()
+	// Close frees the address and fails pending and future calls.
+	ln.Close()
+	if _, err := m.Dial("a"); err == nil {
+		t.Error("dial after listener close succeeded")
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Error("accept after close succeeded")
+	}
+	if _, err := m.Listen("a"); err != nil {
+		t.Errorf("address not released by close: %v", err)
+	}
+	// Instances are separate namespaces.
+	if _, err := NewMem().Dial("a"); err == nil {
+		t.Error("namespaces leaked across Mem instances")
+	}
+}
+
+func TestMemDialUnblockedByClose(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Dial("b")
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the dial park on the accept queue
+	ln.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("dial against closed listener succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dial still parked after listener close")
+	}
+}

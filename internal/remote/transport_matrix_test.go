@@ -1,0 +1,69 @@
+package remote
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/leakcheck"
+	"repro/internal/remote/transport"
+)
+
+// TestTransportMatrixParity runs the reference tuning program over every
+// transport and demands each dump be byte-identical to the in-process run:
+// the protocol result must not depend on how the bytes travel. Each leg
+// drains its worker and passes leakcheck on its own.
+func TestTransportMatrixParity(t *testing.T) {
+	local := parityProgram(t, core.Options{MaxPool: 4, Seed: 42})
+
+	mem := transport.NewMem()
+	tlsT, err := transport.SelfSigned()
+	if err != nil {
+		t.Fatalf("self-signed transport: %v", err)
+	}
+	sock := filepath.Join(t.TempDir(), "w.sock")
+	matrix := []struct {
+		tr   transport.Transport
+		addr string
+	}{
+		{transport.TCP(), "127.0.0.1:0"},
+		{transport.Unix(), sock},
+		{tlsT, "127.0.0.1:0"},
+		{mem, "fleet"},
+	}
+	for _, leg := range matrix {
+		leg := leg
+		t.Run(leg.tr.Name(), func(t *testing.T) {
+			t.Cleanup(leakcheck.Check(t))
+			ln, err := leg.tr.Listen(leg.addr)
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			w := NewWorker(WorkerOptions{Registry: Builtins(), Slots: 2, Name: "mx-" + leg.tr.Name()})
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- w.Serve(ln) }()
+
+			ex := NewExecutor(ExecutorOptions{Registry: Builtins()})
+			if err := ex.DialTransport(leg.tr, ln.Addr().String()); err != nil {
+				t.Fatalf("DialTransport: %v", err)
+			}
+			remote := parityProgram(t, core.Options{MaxPool: 4, Seed: 42, Executor: ex})
+			if remote != local {
+				t.Fatalf("%s run diverged from in-process run:\nlocal:\n%s\nremote:\n%s",
+					leg.tr.Name(), local, remote)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := w.Drain(ctx); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+			if err := <-serveDone; err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			ex.Close()
+		})
+	}
+}

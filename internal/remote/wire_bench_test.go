@@ -1,0 +1,19 @@
+package remote
+
+import "testing"
+
+func BenchmarkWireTaskEncode(b *testing.B)     { runTaskEncode(b) }
+func BenchmarkWireTaskDecode(b *testing.B)     { runTaskDecode(b) }
+func BenchmarkWireResultsEncode(b *testing.B)  { runResultsEncode(b) }
+func BenchmarkWireResultsDecode(b *testing.B)  { runResultsDecode(b) }
+func BenchmarkWireFrameRoundTrip(b *testing.B) { runFrameRoundTrip(b) }
+func BenchmarkWireMuxRoundTrip(b *testing.B)   { runMuxRoundTrip(b) }
+
+func BenchmarkDispatchLoopback(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DispatchTail(256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package remote
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -45,14 +47,15 @@ type Worker struct {
 	runner *core.DetachedRunner
 	sem    chan struct{}
 
-	mu        sync.Mutex
-	snaps     map[snapKey]*store.Exposed
-	snapOrder map[uint64][]uint64 // job id -> hashes, oldest first
-	conns     map[*wconn]struct{}
-	lns       map[net.Listener]struct{}
-	draining  bool
-	ntasks    sync.WaitGroup // all in-flight samples, across conns
-	wg        sync.WaitGroup // per-conn reader+writer goroutines
+	mu          sync.Mutex
+	snaps       map[snapKey]*store.Exposed
+	snapOrder   map[uint64][]uint64 // job id -> hashes, oldest first
+	snapWaiters map[snapKey]chan struct{}
+	conns       map[*wconn]struct{}
+	lns         map[net.Listener]struct{}
+	draining    bool
+	ntasks      sync.WaitGroup // all in-flight samples, across conns
+	wg          sync.WaitGroup // per-conn reader+writer goroutines
 }
 
 // NewWorker returns a Worker ready to serve connections.
@@ -67,13 +70,14 @@ func NewWorker(opts WorkerOptions) *Worker {
 		opts.Slots = 2 * runtime.GOMAXPROCS(0)
 	}
 	return &Worker{
-		opts:      opts,
-		runner:    core.NewDetachedRunner(),
-		sem:       make(chan struct{}, opts.Slots),
-		snaps:     make(map[snapKey]*store.Exposed),
-		snapOrder: make(map[uint64][]uint64),
-		conns:     make(map[*wconn]struct{}),
-		lns:       make(map[net.Listener]struct{}),
+		opts:        opts,
+		runner:      core.NewDetachedRunner(),
+		sem:         make(chan struct{}, opts.Slots),
+		snaps:       make(map[snapKey]*store.Exposed),
+		snapOrder:   make(map[uint64][]uint64),
+		snapWaiters: make(map[snapKey]chan struct{}),
+		conns:       make(map[*wconn]struct{}),
+		lns:         make(map[net.Listener]struct{}),
 	}
 }
 
@@ -106,7 +110,13 @@ func (w *Worker) Serve(ln net.Listener) error {
 
 // ServeConn serves one dispatcher connection and blocks until it closes.
 func (w *Worker) ServeConn(conn net.Conn) {
-	c := &wconn{w: w, c: conn, out: make(chan resultMsg, 64)}
+	c := &wconn{
+		w:      w,
+		c:      conn,
+		wire:   newWire(conn),
+		out:    make(chan resultMsg, 64),
+		closed: make(chan struct{}),
+	}
 	w.mu.Lock()
 	if w.draining {
 		w.mu.Unlock()
@@ -117,13 +127,14 @@ func (w *Worker) ServeConn(conn net.Conn) {
 	w.wg.Add(1) // writer
 	w.mu.Unlock()
 
-	if err := writeFrame(conn, encodeHello(helloMsg{
+	if err := c.wire.writeMsg(encodeHello(helloMsg{
 		Version: protocolVersion, Name: w.opts.Name, Slots: w.opts.Slots,
 	})); err != nil {
 		w.mu.Lock()
 		delete(w.conns, c)
 		w.mu.Unlock()
 		w.wg.Done()
+		close(c.closed)
 		conn.Close()
 		return
 	}
@@ -143,6 +154,10 @@ func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	k := snapKey{job: job, hash: hash}
+	if ch, ok := w.snapWaiters[k]; ok {
+		close(ch) // releases tasks parked on this snapshot
+		delete(w.snapWaiters, k)
+	}
 	if _, ok := w.snaps[k]; ok {
 		return
 	}
@@ -153,6 +168,43 @@ func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed) {
 		order = order[1:]
 	}
 	w.snapOrder[job] = order
+}
+
+// snapWaitTimeout bounds how long a task parks waiting for its snapshot,
+// which travels on the connection's bulk lane and may land after the task
+// that needs it. A lost snapshot (dropped frame, dead bulk lane) degrades to
+// the plain retryable "not cached" bounce when the timer fires. Variable so
+// tests can shorten it.
+var snapWaitTimeout = 5 * time.Second
+
+// awaitSnapshot blocks until the (job, hash) snapshot is installed, the
+// connection dies, or the park times out, and reports whether the snapshot
+// is now available. Parking happens before the slot semaphore, so a waiting
+// task never starves samples that are ready to run.
+func (w *Worker) awaitSnapshot(c *wconn, job, hash uint64) (*store.Exposed, bool) {
+	k := snapKey{job: job, hash: hash}
+	w.mu.Lock()
+	if e, ok := w.snaps[k]; ok {
+		w.mu.Unlock()
+		return e, true
+	}
+	ch, ok := w.snapWaiters[k]
+	if !ok {
+		ch = make(chan struct{})
+		w.snapWaiters[k] = ch
+	}
+	w.mu.Unlock()
+	t := time.NewTimer(snapWaitTimeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-c.closed:
+	case <-t.C:
+	}
+	w.mu.Lock()
+	e, ok := w.snaps[k]
+	w.mu.Unlock()
+	return e, ok
 }
 
 // endJob evicts every snapshot a departed job installed. Job ids are unique
@@ -166,6 +218,12 @@ func (w *Worker) endJob(job uint64) {
 		delete(w.snaps, snapKey{job: job, hash: hash})
 	}
 	delete(w.snapOrder, job)
+	for k, ch := range w.snapWaiters {
+		if k.job == job {
+			close(ch) // parked tasks re-check, miss, and bounce retryable
+			delete(w.snapWaiters, k)
+		}
+	}
 }
 
 // Drain gracefully shuts the worker down: stop accepting connections and
@@ -251,21 +309,22 @@ func (w *Worker) Close() {
 
 // wconn is one dispatcher connection of a Worker.
 type wconn struct {
-	w   *Worker
-	c   net.Conn
-	wmu sync.Mutex // serializes whole frames onto c
+	w    *Worker
+	c    net.Conn
+	wire *wire
 
+	flushMu    sync.Mutex     // owner of the result-flush path (writer or a direct-flushing task)
+	direct     [1]resultMsg   // direct-flush scratch, guarded by flushMu
 	out        chan resultMsg // finished samples -> writer goroutine
+	closed     chan struct{}  // closed when the read loop exits; unparks waiting tasks
 	taskWG     sync.WaitGroup // samples in flight on this conn
 	roundsMap  sync.Map       // round id -> roundMsg
 	finishOnce sync.Once
 }
 
-// write sends one whole frame under the write lock.
+// write sends one message through the connection's wire.
 func (c *wconn) write(payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return writeFrame(c.c, payload)
+	return c.wire.writeMsg(payload)
 }
 
 // finish closes the result channel once no more results can be produced,
@@ -279,18 +338,35 @@ func (c *wconn) finish() {
 	})
 }
 
-// readLoop processes dispatcher frames until the connection dies.
+// readLoop processes dispatcher frames until the connection dies. Chunked
+// messages (snapshot ships on the bulk lane) reassemble through the demux,
+// interleaved with the small frames they must not block.
 func (c *wconn) readLoop() {
 	w := c.w
+	dmx := newDemux()
+	defer dmx.close()
 	var buf []byte
+	defer func() { freeBuf(buf) }()
+	// Buffer the conn so header and payload of a small frame cost one Read
+	// (one wakeup on synchronous pipes) instead of two.
+	br := bufio.NewReaderSize(c.c, readBufSize)
 	var err error
 	for {
-		var payload []byte
-		payload, err = readFrame(c.c, buf)
+		var frame []byte
+		frame, err = readFrame(br, buf)
+		buf = frame // adopt even on error: readFrame may have recycled buf
 		if err != nil {
 			break
 		}
-		buf = payload
+		var payload []byte
+		var pooled bool
+		payload, pooled, err = dmx.feed(frame)
+		if err != nil {
+			break
+		}
+		if payload == nil {
+			continue // mid-stream chunk
+		}
 		if len(payload) == 0 {
 			err = errCodec
 			break
@@ -350,9 +426,16 @@ func (c *wconn) readLoop() {
 			w.ntasks.Add(1)
 			c.taskWG.Add(1)
 			w.mu.Unlock()
-			go c.runTask(tm)
+			if c.inlineTask(tm) {
+				c.runTask(tm)
+			} else {
+				go c.runTask(tm)
+			}
 		default:
 			err = fmt.Errorf("%w: unexpected frame type %d", errCodec, payload[0])
+		}
+		if pooled {
+			freeBuf(payload)
 		}
 		if err != nil {
 			break
@@ -361,6 +444,7 @@ func (c *wconn) readLoop() {
 	w.mu.Lock()
 	delete(w.conns, c)
 	w.mu.Unlock()
+	close(c.closed) // unpark tasks awaiting snapshots from this conn
 	c.c.Close()
 	c.finish()
 }
@@ -368,19 +452,41 @@ func (c *wconn) readLoop() {
 // rounds returns the per-connection round table.
 func (c *wconn) rounds() *sync.Map { return &c.roundsMap }
 
-// runTask executes one sampling-process attempt and queues its result.
+// inlineTask reports whether a task should run on the read loop itself: a
+// single-slot worker has at most one sample in flight, so a task goroutine
+// buys no concurrency and its spawn/handoff is measurable at loopback scale.
+// Tasks that might park for a snapshot still get a goroutine — the snapshot
+// they would wait for arrives on this very read loop.
+func (c *wconn) inlineTask(tm taskMsg) bool {
+	if c.w.opts.Slots != 1 {
+		return false
+	}
+	rv, ok := c.roundsMap.Load(tm.Round)
+	if !ok {
+		return true // immediate bounce, never parks
+	}
+	rm := rv.(roundMsg)
+	if rm.SnapHash == 0 {
+		return true
+	}
+	_, cached := c.w.snapshot(rm.Job, rm.SnapHash)
+	return cached
+}
+
+// runTask executes one sampling-process attempt and queues its result. The
+// round frame always precedes its tasks on the connection, but the snapshot
+// rides the bulk lane and may still be in flight — such tasks park (before
+// taking an execution slot) until it lands.
 func (c *wconn) runTask(tm taskMsg) {
 	w := c.w
 	defer w.ntasks.Done()
 	defer c.taskWG.Done()
-	w.sem <- struct{}{}
-	defer func() { <-w.sem }()
 
 	rv, ok := c.rounds().Load(tm.Round)
 	if !ok {
-		c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{
+		c.send(resultMsg{ID: tm.ID, Res: core.ExecResult{
 			Err: "remote: task for unknown round", Retryable: true,
-		}}
+		}})
 		return
 	}
 	rm := rv.(roundMsg)
@@ -388,19 +494,21 @@ func (c *wconn) runTask(tm taskMsg) {
 	if !ok {
 		// Nothing registered under this name or dynamic key here: the
 		// dispatcher falls back to running the region in-process.
-		c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{Unsupported: true}}
+		c.send(resultMsg{ID: tm.ID, Res: core.ExecResult{Unsupported: true}})
 		return
 	}
 	var exposed *store.Exposed
 	if rm.SnapHash != 0 {
-		exposed, ok = w.snapshot(rm.Job, rm.SnapHash)
+		exposed, ok = w.awaitSnapshot(c, rm.Job, rm.SnapHash)
 		if !ok {
-			c.out <- resultMsg{ID: tm.ID, Res: core.ExecResult{
+			c.send(resultMsg{ID: tm.ID, Res: core.ExecResult{
 				Err: "remote: snapshot not cached", Retryable: true,
-			}}
+			}})
 			return
 		}
 	}
+	w.sem <- struct{}{}
+	defer func() { <-w.sem }()
 	res := w.runner.Run(context.Background(), reg.Spec, reg.Body, core.SampleTask{
 		Seed:     rm.Seed,
 		N:        rm.N,
@@ -408,7 +516,28 @@ func (c *wconn) runTask(tm taskMsg) {
 		Attempt:  tm.Attempt,
 		Feedback: rm.Feedback,
 	}, exposed)
-	c.out <- resultMsg{ID: tm.ID, Res: res}
+	c.send(resultMsg{ID: tm.ID, Res: res})
+}
+
+// send routes one finished sample to the dispatcher. When the writer is
+// idle and nothing else is queued, the result is flushed directly from the
+// task goroutine — two channel handoffs cheaper, which is most of the
+// remaining single-worker loopback overhead. Otherwise it queues for the
+// writer's greedy batching.
+func (c *wconn) send(m resultMsg) {
+	if c.flushMu.TryLock() {
+		if len(c.out) == 0 {
+			c.direct[0] = m
+			err := c.flush(c.direct[:])
+			c.flushMu.Unlock()
+			if err != nil {
+				c.c.Close()
+			}
+			return
+		}
+		c.flushMu.Unlock()
+	}
+	c.out <- m
 }
 
 // resultBatchMax bounds how many finished samples ride in one result frame.
@@ -421,12 +550,13 @@ const resultBatchMax = 64
 func (c *wconn) writeLoop() {
 	defer c.w.wg.Done()
 	alive := true
+	batch := make([]resultMsg, 0, resultBatchMax)
 	for alive {
 		r, ok := <-c.out
 		if !ok {
 			break
 		}
-		batch := []resultMsg{r}
+		batch = append(batch[:0], r)
 	collect:
 		for len(batch) < resultBatchMax {
 			select {
@@ -440,7 +570,10 @@ func (c *wconn) writeLoop() {
 				break collect
 			}
 		}
-		if err := c.flush(batch); err != nil {
+		c.flushMu.Lock()
+		err := c.flush(batch)
+		c.flushMu.Unlock()
+		if err != nil {
 			// The connection is gone; drain remaining results so task
 			// goroutines never block on the channel.
 			for range c.out {
@@ -453,27 +586,52 @@ func (c *wconn) writeLoop() {
 	c.c.Close()
 }
 
-// flush encodes and writes one result batch. Samples whose values cannot be
-// serialized are replaced by a per-sample error result, so one opaque commit
-// cannot poison its batch siblings.
+// flush encodes one result batch into a pooled frame buffer and writes it.
+// Samples whose values cannot be serialized — or whose encoding alone
+// exceeds the wire's message cap — are replaced by a per-sample error
+// result, so one bad commit cannot poison its batch siblings or cost the
+// connection; a batch that is merely too big in aggregate splits in half.
 func (c *wconn) flush(batch []resultMsg) error {
-	payload, err := encodeResults(batch, c.w.opts.Values)
-	if err != nil {
+	vt := c.w.opts.Values
+	wb := getFrameBuf()
+	if err := appendResults(wb, batch, vt); err != nil {
+		// Re-encode with every unserializable sample replaced by a
+		// descriptive per-sample error result.
+		probe := getFrameBuf()
 		fixed := make([]resultMsg, len(batch))
 		for i, m := range batch {
-			if _, e1 := encodeResults([]resultMsg{m}, c.w.opts.Values); e1 != nil {
+			probe.resetFrame()
+			if e1 := appendResults(probe, batch[i:i+1], vt); e1 != nil {
 				m = resultMsg{ID: m.ID, Res: core.ExecResult{
 					Err: fmt.Sprintf("remote: unserializable sample result: %v", e1),
 				}}
 			}
 			fixed[i] = m
 		}
-		payload, err = encodeResults(fixed, c.w.opts.Values)
-		if err != nil {
+		putFrameBuf(probe)
+		wb.resetFrame()
+		if err := appendResults(wb, fixed, vt); err != nil {
+			putFrameBuf(wb)
 			return err
 		}
+		batch = fixed
 	}
-	return c.write(payload)
+	if len(wb.b)-frameHeader > maxMessage {
+		putFrameBuf(wb)
+		if len(batch) == 1 {
+			return c.flush([]resultMsg{{ID: batch[0].ID, Res: core.ExecResult{
+				Err: fmt.Sprintf("remote: unserializable sample result: %v", ErrMessageTooBig),
+			}}})
+		}
+		mid := len(batch) / 2
+		if err := c.flush(batch[:mid]); err != nil {
+			return err
+		}
+		return c.flush(batch[mid:])
+	}
+	err := c.wire.writeBuf(wb)
+	putFrameBuf(wb)
+	return err
 }
 
 // mustEncodeResults encodes a batch of plain error results (always
