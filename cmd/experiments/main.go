@@ -17,7 +17,9 @@
 //	experiments fig22          drone behaviour learning (Fig. 22)
 //	experiments all            everything above
 //
-// Flags: -seed N (default 1).
+// Flags: -seed N (default 1); -checkpoint-dir DIR with optional
+// -checkpoint-every N and -resume to checkpoint tuning runs and pick up
+// interrupted ones where they left off.
 package main
 
 import (
@@ -33,7 +35,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	benchJSON := flag.String("bench-json", "", "run the hot-path microbenchmarks and write a perf report to this path (\"-\" for stdout)")
 	benchBaseline := flag.String("bench-baseline", "", "compare -bench-json results against this report; exit nonzero on >25% regression")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic job checkpoints to this directory")
+	ckptEvery := flag.Int("checkpoint-every", 8, "rounds between auto-checkpoints (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir")
 	flag.Parse()
+	if *ckptDir != "" {
+		restore, err := bench.EnableCheckpointing(*ckptDir, *ckptEvery, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -checkpoint-dir:", err)
+			os.Exit(1)
+		}
+		defer restore()
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 	if *benchJSON != "" {
 		os.Exit(benchReport(*benchJSON, *benchBaseline))
 	}

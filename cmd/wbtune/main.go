@@ -40,6 +40,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", `write Prometheus text-format metrics to this file after the run ("-" = stdout)`)
 	tracePath := flag.String("trace", "", `write the runtime trace as JSONL to this file ("-" = stdout)`)
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/trace on this address (e.g. :8080) and block after the run")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic job checkpoints to this directory (wb mode only)")
+	ckptEvery := flag.Int("checkpoint-every", 8, "rounds between auto-checkpoints (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +97,18 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *ckptDir != "" {
+		restore, err := bench.EnableCheckpointing(*ckptDir, *ckptEvery, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune: -checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+		defer restore()
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "wbtune: -resume requires -checkpoint-dir")
+		os.Exit(2)
 	}
 
 	var out bench.Outcome

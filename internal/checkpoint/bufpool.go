@@ -1,0 +1,43 @@
+package checkpoint
+
+import "sync"
+
+// Size-classed buffer pool for codec scratch, mirroring the
+// internal/remote arena conventions: exact-class-cap recycling so a
+// foreign slice never enters the pool, plain allocation beyond the largest
+// class. Checkpoints are far smaller than wire frames, so the class ladder
+// tops out at 4MiB.
+
+var bufClasses = [...]int{4 << 10, 32 << 10, 256 << 10, 4 << 20}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// allocBuf returns a zero-length slice whose backing array holds at least
+// n bytes, pooled when a size class fits.
+func allocBuf(n int) []byte {
+	for i, size := range bufClasses {
+		if n <= size {
+			if v := bufPools[i].Get(); v != nil {
+				return (*v.(*[]byte))[:0]
+			}
+			return make([]byte, 0, size)
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// freeBuf returns b's backing array to its size class; buffers whose
+// capacity is not exactly a class size are left for the GC. freeBuf(nil)
+// is a no-op.
+func freeBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	for i, size := range bufClasses {
+		if cap(b) == size {
+			b = b[:0]
+			bufPools[i].Put(&b)
+			return
+		}
+	}
+}

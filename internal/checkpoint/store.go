@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// Store is a pluggable checkpoint sink keyed by label. Save must be
+// atomic: a crash mid-save leaves either the previous checkpoint or the
+// new one, never a torn file. Load returns an error satisfying
+// errors.Is(err, fs.ErrNotExist) when no checkpoint exists under label.
+type Store interface {
+	Save(label string, data []byte) error
+	Load(label string) ([]byte, error)
+}
+
+// LoadFrom loads and decodes the checkpoint stored under label. A missing
+// checkpoint is not an error: LoadFrom returns (nil, nil) so cold starts
+// and resumes share one call site.
+func LoadFrom(s Store, label string) (*State, error) {
+	data, err := s.Load(label)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return DecodeBytes(data)
+}
+
+// DirStore is a file-backed Store: one <label>.ckpt file per label in a
+// flat directory. Saves write a temp file and rename it into place, so a
+// kill at any instruction boundary leaves a parseable checkpoint (the
+// crash-recovery suite injects kills on both sides of the rename to prove
+// it).
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a DirStore rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path validates label (it becomes a file name) and returns its file path.
+func (d *DirStore) path(label string) (string, error) {
+	if label == "" || strings.ContainsAny(label, "/\\") || strings.Contains(label, "..") {
+		return "", fmt.Errorf("checkpoint: invalid label %q", label)
+	}
+	return filepath.Join(d.dir, label+".ckpt"), nil
+}
+
+// Save writes data under label via temp file + atomic rename.
+func (d *DirStore) Save(label string, data []byte) error {
+	final, err := d.path(label)
+	if err != nil {
+		return err
+	}
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	faultinject.CrashPoint("ckpt-pre-rename")
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	faultinject.CrashPoint("ckpt-post-rename")
+	return nil
+}
+
+// Load reads the checkpoint stored under label.
+func (d *DirStore) Load(label string) ([]byte, error) {
+	p, err := d.path(label)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// MemStore is an in-memory Store for tests and live migration handoffs.
+// The zero value is ready to use.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// Save stores a copy of data under label.
+func (m *MemStore) Save(label string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.m == nil {
+		m.m = make(map[string][]byte)
+	}
+	m.m[label] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load returns a copy of the bytes stored under label, or an error
+// satisfying errors.Is(err, fs.ErrNotExist) when absent.
+func (m *MemStore) Load(label string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.m[label]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: label %q: %w", label, fs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}

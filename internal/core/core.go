@@ -27,9 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -80,6 +83,18 @@ type Options struct {
 	// unresolvable bodies — fall back to the in-process path. Nil means
 	// everything runs in-process, exactly as before.
 	Executor Executor
+	// Checkpoint, when non-nil, turns on checkpoint recording: the job
+	// journals its rounds and periodically writes a resumable checkpoint to
+	// the policy store. A recorded job supports a single Run.
+	Checkpoint *CheckpointPolicy
+	// Resume, when non-nil, starts the job from a checkpoint: the run
+	// re-executes the tuning program from the beginning with the
+	// checkpoint's seed, replaying pre-checkpoint rounds from the journal
+	// and sampling live from the frontier on. New panics if the checkpoint
+	// cannot be resumed here (completed, already resumed, or the pool is
+	// below its MinSlots floor); Runtime.ResumeJob reports those as typed
+	// errors instead.
+	Resume *checkpoint.State
 }
 
 // Metrics report what a tuning run did. All counters are cumulative over
@@ -164,6 +179,7 @@ type Tuner struct {
 	jobName string           // metric label; "" for single-job compat
 	exposed *store.Exposed
 	obsv    *tunerObs // nil when Options.Obs is nil
+	rec     *recorder // nil unless checkpointing or resuming
 	closed  atomic.Bool
 
 	workMilli int64 // atomic; total work in 1/1024 units
@@ -190,6 +206,11 @@ func New(opts Options) *Tuner {
 		Executor:         opts.Executor,
 	})
 	opts.MaxPool = rt.opts.MaxPool
+	if opts.Resume != nil {
+		if err := rt.validateResume(opts.Resume); err != nil {
+			panic("core: cannot resume checkpoint: " + err.Error())
+		}
+	}
 	return rt.newTuner(opts, uint64(rt.nextJob.Add(1)), "", 1, 0)
 }
 
@@ -232,11 +253,33 @@ func (t *Tuner) RunContext(ctx context.Context, fn func(p *P) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if t.rec != nil && !t.rec.runOnce.CompareAndSwap(false, true) {
+		// The journal keys rounds by split path; a second Run would collide
+		// with the first's paths and corrupt the history.
+		return errors.New("core: checkpoint recording supports a single Run per job")
+	}
 	t.acquire(sched.SpawnT, 0)
 	defer t.release()
 	p := t.newP(ctx)
-	err := fn(p)
-	return errors.Join(err, p.Wait())
+	if t.rec != nil {
+		p.path = "0"
+	}
+	err := errors.Join(fn(p), p.Wait())
+	if t.rec != nil {
+		err = errors.Join(err, t.rec.divergence())
+		if err == nil && t.rec.policy.Store != nil {
+			// Mark the checkpoint complete so a restart does not replay a
+			// finished job. Like auto-checkpoints, a failed write is soft:
+			// the run's result is already in hand.
+			if werr := t.rec.writeCheckpoint(true); werr != nil {
+				t.rec.saveMu.Lock()
+				t.rec.saveErr = werr
+				t.rec.saveMu.Unlock()
+				t.obsv.noteCheckpointError()
+			}
+		}
+	}
+	return err
 }
 
 func (t *Tuner) newP(ctx context.Context) *P {
@@ -358,6 +401,14 @@ type P struct {
 	fbSeen   map[string][]strategy.Feedback
 	fbNew    map[string][]strategy.Feedback
 	children []*P // split order; fixes the Wait merge order
+
+	// Checkpoint identity (set only when the job records). path names this
+	// tuning process by its position in the split tree ("0", "0.1", ...);
+	// unlike pid, it is identical across a record and its replay, so it keys
+	// the journal. nsplit counts this process's splits — children is pruned
+	// by Wait, so it cannot supply the next child ordinal.
+	path   string
+	nsplit int
 }
 
 // feedbackFor returns the feedback visible to this tuning process for a
@@ -429,7 +480,14 @@ func (p *P) Load(name string) any { return p.t.exposed.MustGet(globalScope, name
 func (p *P) LoadFrom(scope, name string) any { return p.t.exposed.MustGet(scope, name) }
 
 // Work accounts units of computation performed by this tuning process.
-func (p *P) Work(units float64) { p.t.AddWork(units) }
+func (p *P) Work(units float64) {
+	if r := p.t.rec; r != nil {
+		if r.noteEvent(p, checkpoint.EvWork, math.Float64bits(units), "") {
+			return // replayed: the restored totals already include this work
+		}
+	}
+	p.t.AddWork(units)
+}
 
 // Split spawns a child tuning process (rule [SPLIT]). fn is the
 // continuation of the computation — everything the child should do after
@@ -438,13 +496,23 @@ func (p *P) Work(units float64) { p.t.AddWork(units) }
 // sample store). Split returns immediately; Wait collects the child's
 // error.
 func (p *P) Split(fn func(child *P) error) {
-	p.t.ctr.splits.Add(1)
-	p.t.obsv.noteSplit()
-	p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
+	suppress := false
+	if r := p.t.rec; r != nil {
+		suppress = r.noteEvent(p, checkpoint.EvSplit, uint64(p.nsplit), "")
+	}
+	if !suppress {
+		p.t.ctr.splits.Add(1)
+		p.t.obsv.noteSplit()
+		p.t.opts.Trace.add(Event{Kind: EvSplit, PID: p.pid, Sample: -1})
+	}
 	// The child and its feedback view are fixed here, at the split point in
 	// the parent's own thread — not when the goroutine gets scheduled — so
 	// what the child can see never depends on timing.
 	child := p.t.newP(p.ctx)
+	if p.t.rec != nil {
+		child.path = p.path + "." + strconv.Itoa(p.nsplit)
+		p.nsplit++
+	}
 	if len(p.fbSeen) > 0 {
 		child.fbSeen = make(map[string][]strategy.Feedback, len(p.fbSeen))
 		for name, fb := range p.fbSeen {

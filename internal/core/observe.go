@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -40,6 +41,22 @@ const (
 	// MetricRegionsDegraded counts regions that completed with at least one
 	// timed-out or failed sample, per region.
 	MetricRegionsDegraded = "wbtuner_regions_degraded_total"
+	// MetricCheckpointBytes observes the encoded size of every checkpoint
+	// the job writes.
+	MetricCheckpointBytes = "wbtuner_checkpoint_bytes"
+	// MetricCheckpointDuration times checkpoint captures (quiesce + encode +
+	// store write).
+	MetricCheckpointDuration = "wbtuner_checkpoint_duration_seconds"
+	// MetricCheckpoints counts checkpoints written successfully.
+	MetricCheckpoints = "wbtuner_checkpoints_total"
+	// MetricCheckpointErrors counts failed auto-checkpoint writes (the run
+	// continues; the failure is reported through Tuner.SaveErr).
+	MetricCheckpointErrors = "wbtuner_checkpoint_errors_total"
+	// MetricResumes counts jobs started from a checkpoint.
+	MetricResumes = "wbtuner_resumes_total"
+	// MetricReplayedRounds counts sampling rounds satisfied from a resumed
+	// job's journal instead of being re-sampled.
+	MetricReplayedRounds = "wbtuner_replayed_rounds_total"
 )
 
 // tunerObs caches one job's instruments so the hot paths never hit the
@@ -55,6 +72,12 @@ type tunerObs struct {
 	splits    *obs.Counter
 	ringOcc   *obs.Gauge
 	ringBatch *obs.Histogram
+	ckptBytes *obs.Histogram
+	ckptDur   *obs.Histogram
+	ckpts     *obs.Counter
+	ckptErrs  *obs.Counter
+	resumes   *obs.Counter
+	replayed  *obs.Counter
 
 	mu      sync.Mutex
 	regions map[string]*regionObs
@@ -95,10 +118,22 @@ func newTunerObs(reg *obs.Registry, job string) *tunerObs {
 	reg.SetHelp(MetricSamplesTimeout, "sampling processes abandoned at a deadline or region budget")
 	reg.SetHelp(MetricSamplesRetried, "sampling-process re-attempts after retryable failures")
 	reg.SetHelp(MetricRegionsDegraded, "regions completed with at least one timed-out or failed sample")
+	reg.SetHelp(MetricCheckpointBytes, "encoded size of written checkpoints")
+	reg.SetHelp(MetricCheckpointDuration, "wall time of checkpoint captures")
+	reg.SetHelp(MetricCheckpoints, "checkpoints written successfully")
+	reg.SetHelp(MetricCheckpointErrors, "auto-checkpoint writes that failed")
+	reg.SetHelp(MetricResumes, "jobs started from a checkpoint")
+	reg.SetHelp(MetricReplayedRounds, "sampling rounds replayed from a resume journal")
 	o := &tunerObs{reg: reg, job: job, regions: make(map[string]*regionObs)}
 	o.splits = reg.Counter(MetricSplits, o.labels()...)
 	o.ringOcc = reg.Gauge(MetricRingOccupancy, o.labels()...)
 	o.ringBatch = reg.Histogram(MetricRingDrainBatch, obs.SizeBuckets(), o.labels()...)
+	o.ckptBytes = reg.Histogram(MetricCheckpointBytes, obs.ByteBuckets(), o.labels()...)
+	o.ckptDur = reg.Histogram(MetricCheckpointDuration, obs.DurationBuckets(), o.labels()...)
+	o.ckpts = reg.Counter(MetricCheckpoints, o.labels()...)
+	o.ckptErrs = reg.Counter(MetricCheckpointErrors, o.labels()...)
+	o.resumes = reg.Counter(MetricResumes, o.labels()...)
+	o.replayed = reg.Counter(MetricReplayedRounds, o.labels()...)
 	return o
 }
 
@@ -132,5 +167,35 @@ func (o *tunerObs) region(name string) *regionObs {
 func (o *tunerObs) noteSplit() {
 	if o != nil {
 		o.splits.Inc()
+	}
+}
+
+// noteCheckpoint records one successful checkpoint write. Safe on nil.
+func (o *tunerObs) noteCheckpoint(bytes int, d time.Duration) {
+	if o != nil {
+		o.ckptBytes.Observe(float64(bytes))
+		o.ckptDur.Observe(d.Seconds())
+		o.ckpts.Inc()
+	}
+}
+
+// noteCheckpointError counts one failed auto-checkpoint write. Safe on nil.
+func (o *tunerObs) noteCheckpointError() {
+	if o != nil {
+		o.ckptErrs.Inc()
+	}
+}
+
+// noteResume counts one resume-from-checkpoint. Safe on nil.
+func (o *tunerObs) noteResume() {
+	if o != nil {
+		o.resumes.Inc()
+	}
+}
+
+// noteReplayedRound counts one journal-replayed round. Safe on nil.
+func (o *tunerObs) noteReplayedRound() {
+	if o != nil {
+		o.replayed.Inc()
 	}
 }

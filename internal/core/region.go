@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/checkpoint"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/strategy"
@@ -107,13 +108,19 @@ func (p *P) Region(spec RegionSpec, body func(sp *SP) error) (*Result, error) {
 		return nil, err
 	}
 	t := p.t
-	t.ctr.regions.Add(1)
-	if ro := t.obsv.region(spec.Name); ro != nil {
-		t0 := time.Now()
-		defer ro.duration.ObserveSince(t0)
+	suppress := false
+	if r := t.rec; r != nil {
+		suppress = r.noteEvent(p, checkpoint.EvRegion, 0, spec.Name)
 	}
-	t.opts.Trace.add(Event{Kind: EvRegionStart, Region: spec.Name, PID: p.pid, Sample: -1})
-	defer t.opts.Trace.add(Event{Kind: EvRegionEnd, Region: spec.Name, PID: p.pid, Sample: -1})
+	if !suppress {
+		t.ctr.regions.Add(1)
+		if ro := t.obsv.region(spec.Name); ro != nil {
+			t0 := time.Now()
+			defer ro.duration.ObserveSince(t0)
+		}
+		t.opts.Trace.add(Event{Kind: EvRegionStart, Region: spec.Name, PID: p.pid, Sample: -1})
+		defer t.opts.Trace.add(Event{Kind: EvRegionEnd, Region: spec.Name, PID: p.pid, Sample: -1})
+	}
 
 	if spec.Samples > 0 {
 		return p.runRound(spec, spec.Samples, 0, body)
@@ -291,18 +298,61 @@ func (rs *regionState) drainRing() {
 // runRound executes one sampling round of n sample groups.
 func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*Result, error) {
 	t := p.t
-	t.ctr.rounds.Add(1)
+	rec := t.rec
 	ro := t.obsv.region(spec.Name)
-	if ro != nil {
-		ro.rounds.Inc()
+	k := spec.CV
+	if k < 2 {
+		k = 1
 	}
-	t.opts.Trace.add(Event{Kind: EvRoundStart, Region: spec.Name, PID: p.pid, Round: round, Sample: -1, N: n})
+	// The incremental aggregators are built before anything else: agg.New is
+	// the only fallible step of round setup, and on the recorded path it
+	// must precede round admission so a spec error can never leak an
+	// in-flight registration in the quiesce gate.
+	incs := make(map[string]agg.Incremental)
+	for x, kind := range spec.Aggregate {
+		if kind == agg.Custom {
+			continue
+		}
+		a, err := agg.New(kind)
+		if err != nil {
+			return nil, err
+		}
+		incs[x] = a
+	}
+	if rec == nil {
+		t.ctr.rounds.Add(1)
+		if ro != nil {
+			ro.rounds.Inc()
+		}
+		t.opts.Trace.add(Event{Kind: EvRoundStart, Region: spec.Name, PID: p.pid, Round: round, Sample: -1, N: n})
+	}
 
 	// The tuning process pauses for the duration of the region (execution
 	// model step 4): it hands its pool slot back so its sampling processes
 	// can use it — Algorithm 1 adjusts poolSize around wait() the same way.
 	t.release()
 	defer t.acquire(sched.SpawnT, 0)
+
+	var recSeq uint64
+	if rec != nil {
+		// Round admission through the quiesce gate (after the slot release
+		// above — a pending checkpoint may block here until in-flight rounds
+		// drain, and those rounds need the slot). A journaled round is
+		// satisfied from the replay path without sampling anything.
+		rep, seq, err := rec.enterRound(p, spec.Name, round, n, k)
+		if err != nil {
+			return nil, err
+		}
+		if rep != nil {
+			return rec.replayRound(p, &spec, rep)
+		}
+		recSeq = seq
+		t.ctr.rounds.Add(1)
+		if ro != nil {
+			ro.rounds.Inc()
+		}
+		t.opts.Trace.add(Event{Kind: EvRoundStart, Region: spec.Name, PID: p.pid, Round: round, Sample: -1, N: n})
+	}
 
 	// The region context carries the whole-round budget (FaultPolicy) on top
 	// of the tuning process's own context; every per-sample deadline derives
@@ -314,10 +364,6 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 		defer cancel()
 	}
 
-	k := spec.CV
-	if k < 2 {
-		k = 1
-	}
 	shape := t.shape(spec.Name)
 	rs := &regionState{
 		t:          t,
@@ -329,7 +375,7 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 		syms:       shape.syms,
 		ro:         ro,
 		store:      store.NewAgg(),
-		incs:       make(map[string]agg.Incremental),
+		incs:       incs,
 		scoreSum:   make([]float64, n),
 		scoreCnt:   make([]int, n),
 		spans:      make([]span, n),
@@ -341,16 +387,6 @@ func (p *P) runRound(spec RegionSpec, n, round int, body func(sp *SP) error) (*R
 	rs.exposed = t.exposed
 	rs.ctx = ctx
 	rs.body = body
-	for x, kind := range spec.Aggregate {
-		if kind == agg.Custom {
-			continue
-		}
-		a, err := agg.New(kind)
-		if err != nil {
-			return nil, err
-		}
-		rs.incs[x] = a
-	}
 	if k > 1 {
 		rs.shared = make([]*svgShared, n)
 		for g := range rs.shared {
@@ -461,7 +497,12 @@ launch:
 		<-rs.ringDone
 	}
 
-	return rs.finish()
+	res, ferr := rs.finish()
+	if rec != nil {
+		rec.exitRound(p, recSeq, round, rs, res)
+		rec.maybeAuto()
+	}
+	return res, ferr
 }
 
 // finish assembles the Result after all sampling processes of a round are

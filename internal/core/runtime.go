@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -100,6 +102,13 @@ type JobOptions struct {
 	// processes may hold at once — an upper bound layered on top of the
 	// fair share, never a reservation. Zero means no cap.
 	MaxParallel int
+	// Checkpoint, when non-nil, turns on checkpoint recording for this job.
+	// See Options.Checkpoint.
+	Checkpoint *CheckpointPolicy
+	// Resume, when non-nil, starts the job from a checkpoint. NewJob panics
+	// if the checkpoint cannot be resumed here; prefer Runtime.ResumeJob,
+	// which reports the failure as a typed error.
+	Resume *checkpoint.State
 }
 
 // NewJob creates one tuning job on the shared runtime and returns its
@@ -109,11 +118,67 @@ type JobOptions struct {
 // Call Close on the handle when the job is finished to release per-job
 // state held outside this process.
 func (rt *Runtime) NewJob(jo JobOptions) *Tuner {
-	id := uint64(rt.nextJob.Add(1))
+	if jo.Resume != nil {
+		if err := rt.validateResume(jo.Resume); err != nil {
+			panic("core: cannot resume checkpoint: " + err.Error())
+		}
+	}
+	return rt.newJob(jo)
+}
+
+// ResumeJob creates a job that continues from a checkpoint, validating that
+// this runtime can host it. It fails with ErrResumeCompleted for a final
+// checkpoint, ErrResumeCapacity when the scheduler pool is below the
+// checkpoint's MinSlots floor, and ErrResumeDuplicate when the same capture
+// was already resumed in this process. On success the returned job replays
+// the checkpointed history on its next Run and continues live from there —
+// the receiving half of a live migration.
+func (rt *Runtime) ResumeJob(jo JobOptions, st *checkpoint.State) (*Tuner, error) {
+	if st == nil {
+		return nil, errors.New("core: ResumeJob requires a checkpoint state")
+	}
+	if err := rt.validateResume(st); err != nil {
+		return nil, err
+	}
+	jo.Resume = st
+	return rt.newJob(jo), nil
+}
+
+// validateResume checks that st can be resumed on this runtime and claims
+// its capture ID. The duplicate check runs last so a rejected checkpoint
+// stays resumable elsewhere.
+func (rt *Runtime) validateResume(st *checkpoint.State) error {
+	if st.Complete {
+		return ErrResumeCompleted
+	}
+	if c := rt.sched.Capacity(); c < st.MinSlots {
+		return fmt.Errorf("%w: runtime has %d slots, checkpoint requires %d",
+			ErrResumeCapacity, c, st.MinSlots)
+	}
+	resumedMu.Lock()
+	defer resumedMu.Unlock()
+	if resumedID[st.ID] {
+		return ErrResumeDuplicate
+	}
+	resumedID[st.ID] = true
+	return nil
+}
+
+// nextJobID namespaces per-job executor state (worker-side snapshot
+// caches). It is process-global, not per-runtime: a fleet executor can be
+// shared by several Runtimes — that is how a job migrates between them —
+// and per-runtime ids would collide in the workers' job namespaces, so
+// that one runtime's Close could drop another job's fleet state.
+var nextJobID atomic.Uint64
+
+// newJob assembles a job whose resume state, if any, is already validated.
+func (rt *Runtime) newJob(jo JobOptions) *Tuner {
+	ordinal := rt.nextJob.Add(1)
 	name := jo.Name
 	if name == "" {
-		name = fmt.Sprintf("job%d", id)
+		name = fmt.Sprintf("job%d", ordinal)
 	}
+	id := nextJobID.Add(1)
 	share := jo.Share
 	if share == 0 {
 		share = 1
@@ -132,13 +197,21 @@ func (rt *Runtime) NewJob(jo JobOptions) *Tuner {
 		Budget:           jo.Budget,
 		Fault:            fault,
 		Executor:         rt.opts.Executor,
+		Checkpoint:       jo.Checkpoint,
+		Resume:           jo.Resume,
 	}, id, name, share, jo.MaxParallel)
 }
 
 // newTuner assembles a job handle. label == "" keeps the pre-runtime metric
 // label scheme (no job label) for single-job compatibility wrappers.
 func (rt *Runtime) newTuner(opts Options, id uint64, label string, share, cap int) *Tuner {
-	return &Tuner{
+	if opts.Resume != nil {
+		// The checkpoint's seed governs the whole resumed run: replayed
+		// rounds were recorded under it, and post-frontier rounds must draw
+		// from the same deterministic stream.
+		opts.Seed = opts.Resume.Seed
+	}
+	t := &Tuner{
 		opts:    opts,
 		rt:      rt,
 		sched:   rt.sched,
@@ -148,6 +221,10 @@ func (rt *Runtime) newTuner(opts Options, id uint64, label string, share, cap in
 		exposed: store.NewExposed(),
 		obsv:    newTunerObs(opts.Obs, label),
 	}
+	if opts.Checkpoint != nil || opts.Resume != nil {
+		t.rec = newRecorder(t, opts.Checkpoint, opts.Resume)
+	}
+	return t
 }
 
 // Scheduler exposes the runtime's scheduler statistics.

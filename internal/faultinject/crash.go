@@ -1,0 +1,55 @@
+package faultinject
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Process-kill injection for the crash-recovery suite. A test sets
+// WBTUNE_CRASH="site:k" in a child process's environment; the k-th time
+// (1-based) that child reaches CrashPoint(site), it SIGKILLs itself — the
+// closest portable stand-in for a machine losing power at that
+// instruction boundary, since SIGKILL cannot be caught, deferred around,
+// or flushed past. With the variable unset (every production run),
+// CrashPoint is two atomic loads.
+
+type crashSpec struct {
+	site string
+	k    int64
+	hits atomic.Int64
+}
+
+var (
+	crashOnce sync.Once
+	crash     atomic.Pointer[crashSpec]
+)
+
+// CrashPoint kills the process with SIGKILL when the WBTUNE_CRASH
+// environment variable ("site:k") names this site and this is its k-th
+// hit. Malformed specs are ignored.
+func CrashPoint(site string) {
+	crashOnce.Do(func() {
+		spec := os.Getenv("WBTUNE_CRASH")
+		i := strings.LastIndexByte(spec, ':')
+		if i <= 0 {
+			return
+		}
+		k, err := strconv.ParseInt(spec[i+1:], 10, 64)
+		if err != nil || k < 1 {
+			return
+		}
+		crash.Store(&crashSpec{site: spec[:i], k: k})
+	})
+	sp := crash.Load()
+	if sp == nil || sp.site != site {
+		return
+	}
+	if sp.hits.Add(1) == sp.k {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: SIGKILL is not deliverable past this point
+	}
+}

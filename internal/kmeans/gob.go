@@ -1,0 +1,43 @@
+package kmeans
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/points"
+)
+
+// stateWire is the exported mirror of State. Committed states travel
+// through the checkpoint journal's gob fallback, and a resumed run hands
+// them back to code that reads the unexported fields (Score needs pts), so
+// the default behaviour of gob — silently dropping unexported fields —
+// would corrupt replay. The wire mirror round-trips every field.
+type stateWire struct {
+	Pts     []points.Point
+	Centers []points.Point
+	Labels  []int
+	Iter    int
+	Prev    float64
+	Moved   bool
+}
+
+// GobEncode implements gob.GobEncoder, preserving unexported state.
+func (s *State) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(stateWire{
+		Pts: s.pts, Centers: s.Centers, Labels: s.Labels,
+		Iter: s.Iter, Prev: s.prev, Moved: s.moved,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *State) GobDecode(data []byte) error {
+	var w stateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*s = State{pts: w.Pts, Centers: w.Centers, Labels: w.Labels,
+		Iter: w.Iter, prev: w.Prev, moved: w.Moved}
+	return nil
+}

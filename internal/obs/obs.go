@@ -200,6 +200,10 @@ func FineDurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 22) }
 // SizeBuckets are the default count/size buckets: 1 to 512 in powers of two.
 func SizeBuckets() []float64 { return ExpBuckets(1, 2, 10) }
 
+// ByteBuckets are payload-size buckets: 64 B to 256 MiB in powers of four,
+// wide enough for checkpoint and snapshot payloads.
+func ByteBuckets() []float64 { return ExpBuckets(64, 4, 12) }
+
 // family is one named metric with its labeled series.
 type family struct {
 	name    string

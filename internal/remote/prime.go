@@ -1,0 +1,51 @@
+package remote
+
+import "repro/internal/store"
+
+// PrimeSnapshot pre-ships a job's exposed-store snapshot to every live
+// worker — the fleet-warming half of a job migration. A resumed job's
+// restored @load state would otherwise be re-shipped lazily by the first
+// round that needs it on each worker; priming moves that transfer off the
+// first rounds' critical path. It implements core.SnapshotPrimer.
+func (ex *NetExecutor) PrimeSnapshot(job uint64, e *store.Exposed) error {
+	data, hash, err := ex.snapshotFor(job, e)
+	if err != nil {
+		return err
+	}
+	if data == nil {
+		return nil
+	}
+	ex.mu.Lock()
+	workers := make([]*dworker, 0, len(ex.workers))
+	for _, w := range ex.workers {
+		if !w.dead && !w.draining {
+			workers = append(workers, w)
+		}
+	}
+	ex.mu.Unlock()
+	sk := snapKey{job: job, hash: hash}
+	var firstErr error
+	for _, w := range workers {
+		w.shipMu.Lock()
+		if w.sentSnaps[sk] {
+			w.shipMu.Unlock()
+			continue
+		}
+		if w.m != nil {
+			w.m.snapMisses.Inc()
+		}
+		w.sentSnaps[sk] = true
+		select {
+		case w.bulkq <- bulkItem{job: job, hash: hash, data: data}:
+		case <-w.stop:
+			// The worker went away mid-prime: un-mark so a later round's
+			// ship to a reconnected worker is not suppressed.
+			delete(w.sentSnaps, sk)
+			if firstErr == nil {
+				firstErr = errWorkerStopped
+			}
+		}
+		w.shipMu.Unlock()
+	}
+	return firstErr
+}

@@ -1,0 +1,104 @@
+package sched
+
+import "sync"
+
+// Quiesce is a round-boundary gate used by checkpointing: it lets a
+// checkpointer observe a tuning job at a moment when no sampling round is
+// in flight, without stopping the world for longer than the current rounds
+// take to finish.
+//
+// Three parties interact with the gate:
+//
+//   - P-threads entering a sampling round call EnterRound/ExitRound around
+//     the round body. EnterRound blocks while a quiescence request is
+//     pending, so a pending checkpoint is never starved by a stream of new
+//     rounds; ExitRound never blocks on a pending request, so in-flight
+//     rounds always drain. Callers must not hold a scheduler slot across a
+//     blocked EnterRound — an in-flight round's samples may need it to
+//     finish draining.
+//   - P-threads mutating recorder state outside a round (Work/Split/Region
+//     events) call Mutate, which serializes all callbacks under one mutex —
+//     gate callbacks need no additional locking among themselves. Mutate
+//     never waits on a pending quiescence request (its callers hold
+//     scheduler slots, and a drain-blocking wait there could deadlock a
+//     small pool); atomicity against the checkpointer comes from the mutex
+//     alone.
+//   - The checkpointer calls Run, which blocks new rounds, waits until the
+//     in-flight count reaches zero, and then runs its callback with the
+//     same mutex held, guaranteeing an exclusive, round-boundary view.
+//
+// The zero Quiesce is ready to use. All methods are safe for concurrent
+// use. Callbacks must not re-enter the gate.
+type Quiesce struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  int // quiescence requests queued or running
+	inflight int // rounds currently executing
+}
+
+// init lazily wires the condition variable. Callers must hold q.mu.
+func (q *Quiesce) init() {
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+}
+
+// Mutate runs fn under the gate mutex. Use it for every recorder-state
+// mutation that is not itself a round: the mutex serializes fn against all
+// other gate callbacks, including a running checkpointer's.
+func (q *Quiesce) Mutate(fn func()) {
+	q.mu.Lock()
+	fn()
+	q.mu.Unlock()
+}
+
+// EnterRound admits one round: it waits out any pending quiescence request,
+// runs fn under the gate mutex, and — only if fn reports the round live —
+// registers it in the in-flight count. A replayed round (live == false)
+// completes entirely inside fn and must not call ExitRound.
+func (q *Quiesce) EnterRound(fn func() (live bool)) {
+	q.mu.Lock()
+	q.init()
+	for q.pending > 0 {
+		q.cond.Wait()
+	}
+	if fn() {
+		q.inflight++
+	}
+	q.mu.Unlock()
+}
+
+// ExitRound retires one live round: it runs fn under the gate mutex and
+// decrements the in-flight count, waking a waiting checkpointer when the
+// count reaches zero. It never waits on a pending quiescence request —
+// draining rounds is exactly what unblocks the checkpointer.
+func (q *Quiesce) ExitRound(fn func()) {
+	q.mu.Lock()
+	q.init()
+	fn()
+	q.inflight--
+	if q.inflight < 0 {
+		panic("sched: Quiesce.ExitRound without matching EnterRound")
+	}
+	if q.inflight == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Run quiesces the gate and runs fn at a round boundary: it marks a request
+// pending (blocking new rounds), waits until every in-flight round has
+// exited, runs fn under the gate mutex, and releases the gate. Multiple
+// concurrent Run calls serialize.
+func (q *Quiesce) Run(fn func()) {
+	q.mu.Lock()
+	q.init()
+	q.pending++
+	for q.inflight > 0 {
+		q.cond.Wait()
+	}
+	fn()
+	q.pending--
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -546,6 +546,16 @@ func (s *Scheduler) wakeLocked() {
 // InUse reports the number of currently admitted processes.
 func (s *Scheduler) InUse() int { return int(s.occ.Load()) }
 
+// Capacity reports the current sampling-process occupancy bound: the local
+// pool size plus any remote capacity added via AddCapacity. A disabled
+// scheduler reports an effectively unbounded capacity.
+func (s *Scheduler) Capacity() int {
+	if s.disabled {
+		return math.MaxInt32
+	}
+	return int(s.limS.Load())
+}
+
 // Stats returns a copy of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{

@@ -1,0 +1,54 @@
+package topn
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// modelWire is the exported mirror of Model for gob round-trips through
+// the checkpoint journal. Model has no exported fields at all, which plain
+// gob refuses to encode; the mirror flattens the similarity lists into
+// parallel item/score slices per row.
+type modelWire struct {
+	Items [][]int
+	Sims  [][]float64
+	P     Params
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := modelWire{
+		Items: make([][]int, len(m.sims)),
+		Sims:  make([][]float64, len(m.sims)),
+		P:     m.p,
+	}
+	for i, row := range m.sims {
+		items := make([]int, len(row))
+		sims := make([]float64, len(row))
+		for j, e := range row {
+			items[j], sims[j] = e.item, e.sim
+		}
+		w.Items[i], w.Sims[i] = items, sims
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	sims := make([][]simEntry, len(w.Items))
+	for i, items := range w.Items {
+		row := make([]simEntry, len(items))
+		for j, it := range items {
+			row[j] = simEntry{item: it, sim: w.Sims[i][j]}
+		}
+		sims[i] = row
+	}
+	*m = Model{sims: sims, p: w.P}
+	return nil
+}
