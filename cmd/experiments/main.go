@@ -102,9 +102,15 @@ func benchReport(out, baseline string) int {
 		return 1
 	}
 	results = append(results, wire...)
+	elastic, elasticRatio, err := bench.ElasticFleetPerf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: elastic fleet:", err)
+		return 1
+	}
+	results = append(results, elastic...)
 	rep := bench.PerfReport{
-		PR:         6,
-		Note:       "zero-copy remote transport: pooled wire buffers, mux chunk interleaving, pluggable transports, per-transport latency histograms",
+		PR:         8,
+		Note:       "elastic snapshot-affinity fleet: wait-driven autoscaler, affinity-first dispatch, graceful worker retirement",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 		Baseline:   bench.PrePRBaseline(),
@@ -132,7 +138,16 @@ func benchReport(out, baseline string) int {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
-	if regressions := bench.ComparePerf(results, compareTo, tolerance); len(regressions) > 0 {
+	regressions := bench.ComparePerf(results, compareTo, tolerance)
+	if elasticRatio < bench.ElasticMinRatio {
+		regressions = append(regressions, fmt.Sprintf(
+			"elastic_fleet_bursty: %.1f%% of static-fleet throughput (floor %.0f%%)",
+			100*elasticRatio, 100*bench.ElasticMinRatio))
+	} else {
+		fmt.Fprintf(os.Stderr, "elastic fleet sustains %.1f%% of static-fleet throughput (floor %.0f%%)\n",
+			100*elasticRatio, 100*bench.ElasticMinRatio)
+	}
+	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}

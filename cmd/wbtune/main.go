@@ -7,6 +7,7 @@
 //	wbtune -bench Canny -mode wb -metrics /dev/stdout
 //	wbtune -bench Canny -mode wb -trace trace.jsonl
 //	wbtune -bench Canny -mode wb -http :8080
+//	wbtune -bench Canny -mode wb -fleet-max 8
 //	wbtune -list
 //
 // -metrics writes the run's metrics in Prometheus text format after the
@@ -43,6 +44,8 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write periodic job checkpoints to this directory (wb mode only)")
 	ckptEvery := flag.Int("checkpoint-every", 8, "rounds between auto-checkpoints (with -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists")
+	fleetMax := flag.Int("fleet-max", 0, "autoscale an elastic loopback sampling fleet up to this many workers (wb mode only; 0 = in-process sampling)")
+	fleetMin := flag.Int("fleet-min", 1, "minimum elastic fleet size (with -fleet-max)")
 	flag.Parse()
 
 	if *list {
@@ -97,6 +100,18 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *fleetMax > 0 {
+		restore, err := bench.EnableElasticFleet(*fleetMin, *fleetMax, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune: -fleet-max: %v\n", err)
+			os.Exit(1)
+		}
+		defer restore()
+	} else if *fleetMin != 1 {
+		fmt.Fprintln(os.Stderr, "wbtune: -fleet-min requires -fleet-max")
+		os.Exit(2)
 	}
 
 	if *ckptDir != "" {

@@ -121,3 +121,15 @@ type Executor interface {
 	// the tuner adds it to the Algorithm 1 sampling-slot bound.
 	Capacity() int
 }
+
+// ElasticExecutor is implemented by executors whose capacity changes at
+// runtime (an autoscaled worker fleet). WatchCapacity registers f to receive
+// every capacity transition as a signed slot delta, delivering the current
+// capacity synchronously first — atomically with respect to transitions, so
+// the watcher's running sum always equals the executor's capacity. A runtime
+// handed an ElasticExecutor tracks the fleet in its Algorithm 1 sampling
+// bound instead of reading Capacity once at construction.
+type ElasticExecutor interface {
+	Executor
+	WatchCapacity(f func(delta int))
+}

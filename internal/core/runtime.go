@@ -30,8 +30,9 @@ type RuntimeOptions struct {
 	Fault FaultPolicy
 	// Executor, when non-nil, runs sampling processes somewhere other than
 	// this process (e.g. a remote worker fleet shared by every job). Its
-	// capacity joins the Algorithm 1 admission bound once, at runtime
-	// construction.
+	// capacity joins the Algorithm 1 admission bound: once at runtime
+	// construction, or — when the executor implements ElasticExecutor —
+	// continuously, tracking every fleet scale-up and scale-down.
 	Executor Executor
 }
 
@@ -67,7 +68,19 @@ func NewRuntime(opts RuntimeOptions) *Runtime {
 		rt.sched.Instrument(opts.Obs)
 	}
 	if opts.Executor != nil {
-		if c := opts.Executor.Capacity(); c > 0 {
+		if ew, ok := opts.Executor.(ElasticExecutor); ok {
+			// An elastic fleet's slots track Algorithm 1's admission bound
+			// continuously: every scale-up widens it, every drain/retirement
+			// narrows it, and the watcher's synchronous initial delivery makes
+			// the bound exact from the first admission.
+			ew.WatchCapacity(func(delta int) {
+				if delta > 0 {
+					rt.sched.AddCapacity(delta)
+				} else if delta < 0 {
+					rt.sched.RemoveCapacity(-delta)
+				}
+			})
+		} else if c := opts.Executor.Capacity(); c > 0 {
 			// Remote slots join Algorithm 1's admission bound: a dispatched
 			// sample occupies a scheduler slot exactly like a local one.
 			rt.sched.AddCapacity(c)
@@ -232,6 +245,12 @@ func (rt *Runtime) Scheduler() sched.Stats { return rt.sched.Stats() }
 
 // InUse reports the number of currently admitted processes across all jobs.
 func (rt *Runtime) InUse() int { return rt.sched.InUse() }
+
+// Load exposes the scheduler's cumulative admission-load counters — the
+// autoscaler's control signal: an elastic fleet controller diffs successive
+// snapshots to derive the mean admission wait per interval and steers the
+// fleet toward its queue-latency setpoint.
+func (rt *Runtime) Load() sched.LoadStats { return rt.sched.Load() }
 
 // JobEnder is implemented by executors that keep per-job state (snapshot
 // namespaces on remote workers); Tuner.Close calls EndJob with the job's

@@ -33,9 +33,22 @@ type ExecutorOptions struct {
 	Dynamic bool
 	// Values is the shared opaque-value table for same-process workers.
 	Values *ValueTable
-	// Obs, when non-nil, receives the per-worker dispatch metrics.
+	// Obs, when non-nil, receives the per-worker dispatch metrics and the
+	// fleet-level gauges (fleet size, affinity hits/misses).
 	Obs *obs.Registry
+	// AffinityWait bounds how long a sample whose job snapshot is already
+	// cached on a busy worker waits for one of that worker's slots before
+	// falling back to work stealing on any free worker. Zero means
+	// DefaultAffinityWait; negative disables affinity waiting (pure FIFO
+	// stealing, the pre-elastic behaviour).
+	AffinityWait time.Duration
 }
+
+// DefaultAffinityWait is the default bound on how long a sample holds out
+// for a snapshot-affine worker before stealing lands it anywhere. It is
+// deliberately a fraction of a typical sample's service time: affinity is
+// worth a short queue, never a stall.
+const DefaultAffinityWait = 2 * time.Millisecond
 
 // NetExecutor implements core.Executor over a fleet of worker connections.
 //
@@ -50,7 +63,9 @@ type ExecutorOptions struct {
 // what the lost attempt drew. When no workers remain, Execute reports
 // ErrExecUnsupported and the tuner finishes the run in-process.
 type NetExecutor struct {
-	opts ExecutorOptions
+	opts    ExecutorOptions
+	affWait time.Duration
+	fm      *fleetMetrics
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -58,8 +73,10 @@ type NetExecutor struct {
 	queue     []*call
 	nextCall  uint64
 	nextRound uint64
+	nextName  int // monotone suffix for deduping worker names across churn
 	rr        int // fast-path rotation cursor, spreads light load
 	closed    bool
+	capLs     []func(delta int) // capacity watchers (scheduler bounds)
 
 	snapMu sync.Mutex
 	snaps  map[uint64]*jobSnap // job id -> encoded-snapshot cache
@@ -83,18 +100,83 @@ func NewExecutor(opts ExecutorOptions) *NetExecutor {
 		panic("remote: ExecutorOptions.Registry is required")
 	}
 	ex := &NetExecutor{opts: opts, snaps: make(map[uint64]*jobSnap)}
+	switch {
+	case opts.AffinityWait > 0:
+		ex.affWait = opts.AffinityWait
+	case opts.AffinityWait == 0:
+		ex.affWait = DefaultAffinityWait
+	}
+	if opts.Obs != nil {
+		ex.fm = newFleetMetrics(opts.Obs)
+	}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
 }
 
+// WatchCapacity registers f to observe every fleet capacity transition as a
+// signed slot delta: worker joins are positive, retirement/drain/death
+// negative. The current counted capacity is delivered synchronously before
+// registration returns — under the same lock that serialises transitions, so
+// a worker dying concurrently can never be observed twice or not at all.
+// core.NewRuntime uses this (via the core.ElasticExecutor interface) to keep
+// the Algorithm 1 sampling bound tracking an elastic fleet; several Runtimes
+// sharing one executor each register their own watcher.
+func (ex *NetExecutor) WatchCapacity(f func(delta int)) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.capLs = append(ex.capLs, f)
+	n := 0
+	for _, w := range ex.workers {
+		if w.counted {
+			n += w.slots
+		}
+	}
+	if n != 0 {
+		f(n)
+	}
+}
+
+// countLocked admits w's slots into the fleet capacity. Callers hold ex.mu.
+func (ex *NetExecutor) countLocked(w *dworker) {
+	if w.counted {
+		return
+	}
+	w.counted = true
+	for _, f := range ex.capLs {
+		f(w.slots)
+	}
+	if ex.fm != nil {
+		ex.fm.fleetSize.Add(1)
+	}
+}
+
+// uncountLocked retires w's slots from the fleet capacity exactly once,
+// however many of explicit retirement, a worker-announced drain, and
+// connection death race each other: the counted flag is the single source of
+// truth, so a worker dying mid-drain is never double-subtracted. Callers
+// hold ex.mu.
+func (ex *NetExecutor) uncountLocked(w *dworker) {
+	if !w.counted {
+		return
+	}
+	w.counted = false
+	for _, f := range ex.capLs {
+		f(-w.slots)
+	}
+	if ex.fm != nil {
+		ex.fm.fleetSize.Add(-1)
+	}
+}
+
 // dworker is the dispatcher's view of one worker connection.
 type dworker struct {
-	ex    *NetExecutor
-	c     net.Conn
-	wire  *wire
-	name  string
-	slots int
-	m     *workerMetrics
+	ex         *NetExecutor
+	c          net.Conn
+	wire       *wire
+	name       string
+	slots      int
+	chunkBound int // per-connection demux stream bound; 0 = protocol default
+	m          *workerMetrics
 
 	// shipMu orders one worker's control frames: under it, a round frame
 	// always hits the connection before the tasks that reference it, even
@@ -112,9 +194,11 @@ type dworker struct {
 	stop  chan struct{} // closed by fail; releases the bulk lane
 
 	// Guarded by ex.mu.
-	inflight map[uint64]*call
-	dead     bool
-	draining bool
+	inflight  map[uint64]*call
+	dead      bool
+	draining  bool
+	counted   bool                 // slots currently in the fleet capacity
+	haveSnaps map[snapKey]struct{} // dispatcher-side affinity index
 }
 
 // bulkItem is one snapshot ship queued on the bulk lane.
@@ -133,6 +217,13 @@ type call struct {
 
 	enq  time.Time
 	sent time.Time
+
+	// Affinity routing: sk identifies the snapshot this sample needs; a call
+	// queued while only busy workers hold sk carries a deadline after which
+	// any worker may steal it. Guarded by ex.mu.
+	sk          snapKey
+	affDeadline time.Time
+	affTimer    *time.Timer
 
 	// Guarded by ex.mu.
 	worker    *dworker
@@ -168,7 +259,11 @@ func (ex *NetExecutor) DialTransport(t transport.Transport, addr string) error {
 	if err != nil {
 		return err
 	}
-	if err := ex.addConn(c, t.Name()); err != nil {
+	var tn transport.Tuning
+	if td, ok := t.(transport.Tuned); ok {
+		tn = td.Tuning()
+	}
+	if _, err := ex.addConn(c, t.Name(), tn); err != nil {
 		c.Close()
 		return err
 	}
@@ -181,42 +276,54 @@ func (ex *NetExecutor) DialTransport(t transport.Transport, addr string) error {
 // their metrics transport="pipe" (the loopback case); use DialTransport to
 // carry a real transport name.
 func (ex *NetExecutor) AddConn(conn net.Conn) error {
-	return ex.addConn(conn, "pipe")
+	_, err := ex.addConn(conn, "pipe", transport.Tuning{})
+	return err
 }
 
-func (ex *NetExecutor) addConn(conn net.Conn, transportName string) error {
+// addConn performs the hello handshake and registers the worker, returning
+// the (possibly deduplicated) name it joined under — the handle RemoveConn
+// retires it by.
+func (ex *NetExecutor) addConn(conn net.Conn, transportName string, tn transport.Tuning) (string, error) {
 	conn.SetDeadline(time.Now().Add(helloTimeout))
 	payload, err := readFrame(conn, nil)
 	defer freeBuf(payload)
 	if err != nil {
-		return fmt.Errorf("remote: worker hello: %w", err)
+		return "", fmt.Errorf("remote: worker hello: %w", err)
 	}
 	if len(payload) == 0 || payload[0] != mHello {
-		return fmt.Errorf("%w: expected hello frame", errCodec)
+		return "", fmt.Errorf("%w: expected hello frame", errCodec)
 	}
 	hello, err := decodeHello(payload[1:])
 	if err != nil {
-		return err
+		return "", err
 	}
 	if hello.Version != protocolVersion {
-		return fmt.Errorf("remote: protocol version mismatch: worker %d, dispatcher %d",
+		return "", fmt.Errorf("remote: protocol version mismatch: worker %d, dispatcher %d",
 			hello.Version, protocolVersion)
 	}
 	if hello.Slots < 1 {
-		return fmt.Errorf("%w: worker advertises no slots", errCodec)
+		return "", fmt.Errorf("%w: worker advertises no slots", errCodec)
 	}
 	conn.SetDeadline(time.Time{})
 
 	ex.mu.Lock()
 	if ex.closed {
 		ex.mu.Unlock()
-		return fmt.Errorf("remote: executor closed")
+		return "", fmt.Errorf("remote: executor closed")
 	}
 	name := hello.Name
 	for _, w := range ex.workers {
 		if w.name == name {
-			name = fmt.Sprintf("%s-%d", hello.Name, len(ex.workers))
+			// Dedup with a monotone counter, not the slice length: dead
+			// workers are reaped from the slice, and a reused suffix would
+			// collide in the per-worker metric labels across churn.
+			ex.nextName++
+			name = fmt.Sprintf("%s-%d", hello.Name, ex.nextName)
 		}
+	}
+	bulkCap := 8
+	if tn.MaxInflightChunks > 0 {
+		bulkCap = tn.MaxInflightChunks
 	}
 	m := newWorkerMetrics(ex.opts.Obs, name, transportName)
 	cc := &countingConn{Conn: conn, m: m}
@@ -226,21 +333,60 @@ func (ex *NetExecutor) addConn(conn net.Conn, transportName string) error {
 		wire:       newWire(cc),
 		name:       name,
 		slots:      hello.Slots,
+		chunkBound: tn.MaxInflightChunks,
 		m:          m,
 		sentSnaps:  make(map[snapKey]bool),
 		sentRounds: make(map[uint64]bool),
-		bulkq:      make(chan bulkItem, 8),
+		bulkq:      make(chan bulkItem, bulkCap),
 		stop:       make(chan struct{}),
 		inflight:   make(map[uint64]*call),
+		haveSnaps:  make(map[snapKey]struct{}),
 	}
 	ex.workers = append(ex.workers, w)
+	ex.countLocked(w)
 	ex.cond.Broadcast()
 	ex.mu.Unlock()
 
 	go w.pump()
 	go w.bulkLoop()
 	go w.readLoop()
-	return nil
+	ex.warmWorker(w)
+	return name, nil
+}
+
+// warmWorker pre-ships every cached job snapshot to a just-added worker over
+// the bulk lane (protocol v3 pre-priming), so a scale-up joins the fleet
+// warm: its first affinity-routed samples park briefly on an in-flight ship
+// instead of paying a full snapshot round-trip at dispatch time.
+func (ex *NetExecutor) warmWorker(w *dworker) {
+	ex.snapMu.Lock()
+	items := make([]bulkItem, 0, len(ex.snaps))
+	for job, s := range ex.snaps {
+		if s.data != nil {
+			items = append(items, bulkItem{job: job, hash: s.hash, data: s.data})
+		}
+	}
+	ex.snapMu.Unlock()
+	for _, it := range items {
+		sk := snapKey{job: it.job, hash: it.hash}
+		w.shipMu.Lock()
+		if !w.sentSnaps[sk] {
+			w.sentSnaps[sk] = true
+			select {
+			case w.bulkq <- it:
+			case <-w.stop:
+				delete(w.sentSnaps, sk)
+				w.shipMu.Unlock()
+				return
+			}
+		}
+		w.shipMu.Unlock()
+		ex.mu.Lock()
+		if !w.dead {
+			w.haveSnaps[sk] = struct{}{}
+		}
+		ex.mu.Unlock()
+	}
 }
 
 // liveLocked counts workers accepting new samples. Callers hold ex.mu.
@@ -266,6 +412,62 @@ func (ex *NetExecutor) Capacity() int {
 		}
 	}
 	return n
+}
+
+// Workers lists the names of live (accepting) workers, in join order.
+func (ex *NetExecutor) Workers() []string {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	names := make([]string, 0, len(ex.workers))
+	for _, w := range ex.workers {
+		if !w.dead && !w.draining {
+			names = append(names, w.name)
+		}
+	}
+	return names
+}
+
+// errWorkerRetired is the graceful-retirement cause handed to fail once a
+// drained worker's last in-flight sample lands; like a worker's own goodbye,
+// it does not count as a failure in the metrics.
+var errWorkerRetired = errors.New("remote: worker retired by autoscaler")
+
+// RemoveConn gracefully retires the named worker: it stops receiving new
+// samples immediately (capacity watchers observe the drop, shrinking the
+// Algorithm 1 bound), in-flight samples finish and deliver normally, and the
+// connection closes once the last one lands — retirement never drops a
+// round. It blocks until the drain completes or ctx expires; on expiry the
+// connection is torn down anyway and the remaining in-flight samples bounce
+// through the retry machinery onto surviving workers.
+func (ex *NetExecutor) RemoveConn(ctx context.Context, name string) error {
+	ex.mu.Lock()
+	var w *dworker
+	for _, cand := range ex.workers {
+		if cand.name == name && !cand.dead && !cand.draining {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		ex.mu.Unlock()
+		return fmt.Errorf("remote: no live worker %q", name)
+	}
+	w.draining = true
+	ex.uncountLocked(w)
+	ex.cond.Broadcast() // release the pump; it exits on the draining flag
+	stopWake := context.AfterFunc(ctx, func() {
+		ex.mu.Lock()
+		ex.cond.Broadcast()
+		ex.mu.Unlock()
+	})
+	for len(w.inflight) > 0 && !w.dead && ctx.Err() == nil {
+		ex.cond.Wait() // deliver and fail both broadcast
+	}
+	expired := ctx.Err()
+	ex.mu.Unlock()
+	stopWake()
+	ex.fail(w, errWorkerRetired)
+	return expired
 }
 
 // snapshotFor encodes (or reuses) the snapshot of a job's exposed store,
@@ -388,6 +590,11 @@ func (ex *NetExecutor) EndJob(job uint64) {
 		if !w.dead {
 			workers = append(workers, w)
 		}
+		for sk := range w.haveSnaps {
+			if sk.job == job {
+				delete(w.haveSnaps, sk)
+			}
+		}
 	}
 	ex.mu.Unlock()
 	payload := encodeEndJob(job)
@@ -415,6 +622,9 @@ func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt i
 		return core.ExecResult{}, core.ErrExecUnsupported
 	}
 	c := &call{r: rs, group: group, attempt: attempt, done: make(chan callOutcome, 1), enq: time.Now()}
+	if rs.snapData != nil {
+		c.sk = snapKey{job: rs.job, hash: rs.snapHash}
+	}
 	ex.mu.Lock()
 	if ex.closed || ex.liveLocked() == 0 {
 		ex.mu.Unlock()
@@ -426,24 +636,56 @@ func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt i
 	// claim the call inline and ship it from this goroutine — skipping the
 	// pump wakeup and handoff, which dominate loopback dispatch latency at
 	// small fleet sizes. The queue-empty check keeps FIFO fairness: nothing
-	// ever overtakes a waiting call.
+	// ever overtakes a waiting call. Affinity-first: a free worker already
+	// holding this sample's snapshot wins over round-robin; when only busy
+	// workers hold it, the sample queues with a bounded affinity deadline
+	// instead of claiming a cold worker outright.
 	var fast *dworker
 	if len(ex.queue) == 0 {
+		var free, affFree *dworker
+		affHeld := false
+		n := len(ex.workers)
 		start := ex.rr
 		ex.rr++
-		for i := range ex.workers {
-			w := ex.workers[(start+i)%len(ex.workers)]
-			if !w.dead && !w.draining && len(w.inflight) < w.slots {
-				fast = w
-				w.inflight[c.id] = c
-				c.worker = w
-				c.sent = time.Now()
-				w.m.setInflight(len(w.inflight))
-				break
+		for i := 0; i < n; i++ {
+			w := ex.workers[(start+i)%n]
+			if w.dead || w.draining {
+				continue
 			}
+			hasSlot := len(w.inflight) < w.slots
+			if c.sk.hash != 0 {
+				if _, held := w.haveSnaps[c.sk]; held {
+					affHeld = true
+					if hasSlot && affFree == nil {
+						affFree = w
+					}
+				}
+			}
+			if hasSlot && free == nil {
+				free = w
+			}
+		}
+		switch {
+		case affFree != nil:
+			fast = affFree
+		case affHeld && ex.affWait > 0:
+			// A holder exists but is saturated: park briefly for its slot.
+		default:
+			fast = free
+		}
+		if fast != nil {
+			ex.claimLocked(fast, c)
 		}
 	}
 	if fast == nil {
+		if c.sk.hash != 0 && ex.affWait > 0 && ex.affinityHeldLocked(c.sk) {
+			c.affDeadline = time.Now().Add(ex.affWait)
+			c.affTimer = time.AfterFunc(ex.affWait, func() {
+				ex.mu.Lock()
+				ex.cond.Broadcast() // deadline passed: any pump may steal it now
+				ex.mu.Unlock()
+			})
+		}
 		ex.queue = append(ex.queue, c)
 		ex.cond.Broadcast()
 	}
@@ -467,6 +709,10 @@ func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt i
 				break
 			}
 		}
+		if c.affTimer != nil {
+			c.affTimer.Stop()
+			c.affTimer = nil
+		}
 		// If a worker already claimed the call, its eventual result is
 		// discarded on arrival; the worker slot frees itself then.
 		c.abandoned = true
@@ -480,25 +726,93 @@ func (ex *NetExecutor) Execute(ctx context.Context, handle any, group, attempt i
 	}
 }
 
+// claimLocked assigns c to w: slot accounting, dispatch timestamps, and the
+// affinity bookkeeping — a claim by a worker already holding c's snapshot is
+// a hit, any other claim a miss that extends the snapshot's worker set.
+// Callers hold ex.mu.
+func (ex *NetExecutor) claimLocked(w *dworker, c *call) {
+	w.inflight[c.id] = c
+	c.worker = w
+	c.sent = time.Now()
+	w.m.setInflight(len(w.inflight))
+	if c.affTimer != nil {
+		c.affTimer.Stop()
+		c.affTimer = nil
+	}
+	if c.sk.hash != 0 {
+		if _, held := w.haveSnaps[c.sk]; held {
+			if ex.fm != nil {
+				ex.fm.affHits.Inc()
+			}
+		} else {
+			w.haveSnaps[c.sk] = struct{}{}
+			if ex.fm != nil {
+				ex.fm.affMisses.Inc()
+			}
+		}
+	}
+}
+
+// affinityHeldLocked reports whether any live worker holds sk. Callers hold
+// ex.mu.
+func (ex *NetExecutor) affinityHeldLocked(sk snapKey) bool {
+	for _, w := range ex.workers {
+		if w.dead || w.draining {
+			continue
+		}
+		if _, held := w.haveSnaps[sk]; held {
+			return true
+		}
+	}
+	return false
+}
+
+// claimQueuedLocked scans the queue head-first for the first call w may
+// take: a call with no affinity deadline is always claimable (FIFO), one
+// with a deadline is claimable by a holder of its snapshot immediately and
+// by anyone once the deadline passes or the holders are gone — bounded
+// affinity, never starvation. Returns nil if nothing is claimable. Callers
+// hold ex.mu.
+func (ex *NetExecutor) claimQueuedLocked(w *dworker) *call {
+	var now time.Time
+	for i, c := range ex.queue {
+		if !c.affDeadline.IsZero() {
+			if _, held := w.haveSnaps[c.sk]; !held {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				if now.Before(c.affDeadline) && ex.affinityHeldLocked(c.sk) {
+					continue // hold out for an affine slot a bit longer
+				}
+			}
+		}
+		ex.queue = append(ex.queue[:i], ex.queue[i+1:]...)
+		ex.claimLocked(w, c)
+		return c
+	}
+	return nil
+}
+
 // pump is a worker connection's stealing loop: whenever the worker has a
-// free slot and the shared queue is non-empty, claim the head and ship it.
+// free slot, claim the first queued call the affinity policy lets it take
+// and ship it.
 func (w *dworker) pump() {
 	ex := w.ex
 	for {
 		ex.mu.Lock()
-		for !w.dead && !w.draining && !ex.closed && (len(ex.queue) == 0 || len(w.inflight) >= w.slots) {
+		var c *call
+		for {
+			if w.dead || w.draining || ex.closed {
+				ex.mu.Unlock()
+				return
+			}
+			if len(w.inflight) < w.slots {
+				if c = ex.claimQueuedLocked(w); c != nil {
+					break
+				}
+			}
 			ex.cond.Wait()
 		}
-		if w.dead || w.draining || ex.closed {
-			ex.mu.Unlock()
-			return
-		}
-		c := ex.queue[0]
-		ex.queue = ex.queue[1:]
-		w.inflight[c.id] = c
-		c.worker = w
-		c.sent = time.Now()
-		w.m.setInflight(len(w.inflight))
 		ex.mu.Unlock()
 		w.m.observeDispatch(c.enq, c.sent)
 		if err := w.ship(c); err != nil {
@@ -581,7 +895,7 @@ func (w *dworker) bulkLoop() {
 // Any error fails the worker.
 func (w *dworker) readLoop() {
 	ex := w.ex
-	dmx := newDemux()
+	dmx := newDemuxBound(w.chunkBound)
 	defer dmx.close()
 	var dec decoder
 	var buf []byte
@@ -621,6 +935,7 @@ func (w *dworker) readLoop() {
 		case mDrain:
 			ex.mu.Lock()
 			w.draining = true
+			ex.uncountLocked(w) // capacity watchers shrink the sampling bound
 			ex.cond.Broadcast() // release the pump; in-flight results still arrive
 			ex.mu.Unlock()
 		case mBye:
@@ -659,8 +974,10 @@ func (ex *NetExecutor) deliver(w *dworker, m resultMsg) {
 	}
 }
 
-// fail marks a worker dead and bounces its in-flight samples back through
-// the retry machinery as retryable failures.
+// fail marks a worker dead, retires its slots from the counted capacity
+// (exactly once, even when racing an explicit retirement or drain), reaps it
+// from the fleet, and bounces its in-flight samples back through the retry
+// machinery as retryable failures.
 func (ex *NetExecutor) fail(w *dworker, cause error) {
 	ex.mu.Lock()
 	if w.dead {
@@ -668,6 +985,13 @@ func (ex *NetExecutor) fail(w *dworker, cause error) {
 		return
 	}
 	w.dead = true
+	ex.uncountLocked(w)
+	for i, x := range ex.workers {
+		if x == w {
+			ex.workers = append(ex.workers[:i], ex.workers[i+1:]...)
+			break
+		}
+	}
 	close(w.stop) // releases the bulk lane and any ship blocked feeding it
 	orphans := make([]*call, 0, len(w.inflight))
 	for id, c := range w.inflight {
@@ -681,7 +1005,7 @@ func (ex *NetExecutor) fail(w *dworker, cause error) {
 	ex.cond.Broadcast()
 	ex.mu.Unlock()
 
-	if w.m != nil && cause != errWorkerBye {
+	if w.m != nil && cause != errWorkerBye && cause != errWorkerRetired {
 		w.m.failures.Inc()
 	}
 	w.c.Close()
@@ -704,6 +1028,10 @@ func (ex *NetExecutor) Close() {
 	queued := ex.queue
 	ex.queue = nil
 	for _, c := range queued {
+		if c.affTimer != nil {
+			c.affTimer.Stop()
+			c.affTimer = nil
+		}
 		if !c.delivered && !c.abandoned {
 			c.delivered = true
 		}

@@ -31,6 +31,43 @@ const (
 	MetricWorkerFailures = "wbtuner_remote_worker_failures_total"
 )
 
+// Fleet-level metric names (unlabeled except where noted).
+const (
+	// MetricFleetSize gauges live workers currently counted in the fleet
+	// capacity (joined minus drained/retired/dead).
+	MetricFleetSize = "wbtuner_fleet_size"
+	// MetricScaleEvents counts autoscaler actions, labeled dir=up|down.
+	MetricScaleEvents = "wbtuner_scale_events_total"
+	// MetricAffinityHits / MetricAffinityMisses count dispatched samples that
+	// landed on a worker already holding their job's snapshot (hit) vs one
+	// that had to be sent it (miss). The steady-state hit ratio is the
+	// affinity dispatcher's figure of merit.
+	MetricAffinityHits   = "wbtuner_affinity_hit_total"
+	MetricAffinityMisses = "wbtuner_affinity_miss_total"
+)
+
+// fleetMetrics holds the executor's fleet-level instruments (nil when the
+// executor has no obs registry).
+type fleetMetrics struct {
+	fleetSize *obs.Gauge
+	affHits   *obs.Counter
+	affMisses *obs.Counter
+}
+
+func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp(MetricFleetSize, "live workers counted in the fleet capacity")
+	reg.SetHelp(MetricAffinityHits, "samples dispatched to a worker already holding their snapshot")
+	reg.SetHelp(MetricAffinityMisses, "samples dispatched to a worker that had to be shipped their snapshot")
+	return &fleetMetrics{
+		fleetSize: reg.Gauge(MetricFleetSize),
+		affHits:   reg.Counter(MetricAffinityHits),
+		affMisses: reg.Counter(MetricAffinityMisses),
+	}
+}
+
 // workerMetrics holds one worker's dispatcher-side instruments (nil when
 // the executor has no obs registry).
 type workerMetrics struct {

@@ -35,17 +35,26 @@ func (ex *NetExecutor) PrimeSnapshot(job uint64, e *store.Exposed) error {
 			w.m.snapMisses.Inc()
 		}
 		w.sentSnaps[sk] = true
+		shipped := true
 		select {
 		case w.bulkq <- bulkItem{job: job, hash: hash, data: data}:
 		case <-w.stop:
 			// The worker went away mid-prime: un-mark so a later round's
 			// ship to a reconnected worker is not suppressed.
 			delete(w.sentSnaps, sk)
+			shipped = false
 			if firstErr == nil {
 				firstErr = errWorkerStopped
 			}
 		}
 		w.shipMu.Unlock()
+		if shipped {
+			ex.mu.Lock()
+			if !w.dead {
+				w.haveSnaps[sk] = struct{}{} // primed workers count as affine
+			}
+			ex.mu.Unlock()
+		}
 	}
 	return firstErr
 }

@@ -202,6 +202,7 @@ type Scheduler struct {
 
 	admitted  atomic.Int64
 	waited    atomic.Int64
+	waitNanos atomic.Int64 // total queued-wait time, feeds LoadStats
 	cancelled atomic.Int64
 	peak      atomic.Int64
 
@@ -255,6 +256,51 @@ func (s *Scheduler) AddCapacity(n int) {
 	s.mu.Lock()
 	s.wakeLocked()
 	s.mu.Unlock()
+}
+
+// RemoveCapacity shrinks the sampling-process occupancy bound by n slots —
+// the retirement half of AddCapacity, called when a remote worker drains out
+// of the fleet. Shrinking below current occupancy is allowed: admitted
+// processes finish, new admissions wait for the smaller bound. n must be
+// non-negative; no-op on a disabled scheduler.
+func (s *Scheduler) RemoveCapacity(n int) {
+	if n < 0 {
+		panic("sched: RemoveCapacity with negative n; use AddCapacity to grow")
+	}
+	s.AddCapacity(-n)
+}
+
+// LoadStats is a point-in-time snapshot of scheduler pressure — the feed an
+// elastic fleet controller steers by. Admitted/Waited/WaitNanos are
+// cumulative; a controller polls periodically and differences consecutive
+// snapshots to get the admission-wait accrued per interval.
+type LoadStats struct {
+	// Admitted counts admissions since construction.
+	Admitted int64
+	// Waited counts admissions that had to queue first.
+	Waited int64
+	// WaitNanos is the total time queued requests spent waiting before
+	// admission (or cancellation), in nanoseconds.
+	WaitNanos int64
+	// Queued is the number of requests waiting right now.
+	Queued int
+	// InUse is the current pool occupancy.
+	InUse int
+	// Capacity is the current sampling-process bound (local pool plus
+	// added remote capacity).
+	Capacity int
+}
+
+// Load returns the scheduler's current load snapshot.
+func (s *Scheduler) Load() LoadStats {
+	return LoadStats{
+		Admitted:  s.admitted.Load(),
+		Waited:    s.waited.Load(),
+		WaitNanos: s.waitNanos.Load(),
+		Queued:    int(s.nwait.Load()),
+		InUse:     int(s.occ.Load()),
+		Capacity:  s.Capacity(),
+	}
 }
 
 // Scheduler metric names.
@@ -412,14 +458,15 @@ func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int, j *J
 	// this wake admits the best waiter (not necessarily us) if a slot freed.
 	s.wakeLocked()
 	s.mu.Unlock()
-	var t0 time.Time
-	if h != nil {
-		t0 = time.Now()
-	}
+	// The wait is always timed: beyond the optional histogram, the
+	// accumulated wait-nanos are the load feed an elastic fleet controller
+	// scales by (LoadStats.WaitNanos).
+	t0 := time.Now()
 	select {
 	case <-w.ready: // admitted by a releasing (or re-checking) goroutine
 		w.job = nil
 		waiterPool.Put(w)
+		s.waitNanos.Add(time.Since(t0).Nanoseconds())
 		if h != nil {
 			h.ObserveSince(t0)
 		}
@@ -433,6 +480,7 @@ func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int, j *J
 			<-w.ready
 			w.job = nil
 			waiterPool.Put(w)
+			s.waitNanos.Add(time.Since(t0).Nanoseconds())
 			if h != nil {
 				h.ObserveSince(t0)
 			}
@@ -444,6 +492,7 @@ func (s *Scheduler) acquireSlow(ctx context.Context, event Event, todo int, j *J
 		s.mu.Unlock()
 		w.job = nil
 		waiterPool.Put(w)
+		s.waitNanos.Add(time.Since(t0).Nanoseconds())
 		return ctx.Err()
 	}
 }
