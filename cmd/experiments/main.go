@@ -108,9 +108,15 @@ func benchReport(out, baseline string) int {
 		return 1
 	}
 	results = append(results, elastic...)
+	snap, snapRatio, err := bench.SnapshotDeltaPerf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: snapshot delta:", err)
+		return 1
+	}
+	results = append(results, snap...)
 	rep := bench.PerfReport{
-		PR:         8,
-		Note:       "elastic snapshot-affinity fleet: wait-driven autoscaler, affinity-first dispatch, graceful worker retirement",
+		PR:         9,
+		Note:       "protocol v4 delta snapshot shipping: per-key dirty tracking, patch-defined encodings, byte-bounded dispatcher snapshot cache",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 		Baseline:   bench.PrePRBaseline(),
@@ -146,6 +152,14 @@ func benchReport(out, baseline string) int {
 	} else {
 		fmt.Fprintf(os.Stderr, "elastic fleet sustains %.1f%% of static-fleet throughput (floor %.0f%%)\n",
 			100*elasticRatio, 100*bench.ElasticMinRatio)
+	}
+	if snapRatio < bench.SnapDeltaMinRatio {
+		regressions = append(regressions, fmt.Sprintf(
+			"snapshot_ship_delta: %.1fx byte reduction vs full re-ship (floor %.0fx)",
+			snapRatio, bench.SnapDeltaMinRatio))
+	} else {
+		fmt.Fprintf(os.Stderr, "delta shipping cuts incremental snapshot bytes %.1fx vs full re-ship (floor %.0fx)\n",
+			snapRatio, bench.SnapDeltaMinRatio)
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {

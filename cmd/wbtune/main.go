@@ -46,6 +46,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists")
 	fleetMax := flag.Int("fleet-max", 0, "autoscale an elastic loopback sampling fleet up to this many workers (wb mode only; 0 = in-process sampling)")
 	fleetMin := flag.Int("fleet-min", 1, "minimum elastic fleet size (with -fleet-max)")
+	snapCacheMB := flag.Int("snap-cache-mb", 0, "dispatcher-side encoded-snapshot cache cap in MiB, for delta shipping (with -fleet-max; 0 = default 64, negative = unbounded)")
 	flag.Parse()
 
 	if *list {
@@ -103,7 +104,11 @@ func main() {
 	}
 
 	if *fleetMax > 0 {
-		restore, err := bench.EnableElasticFleet(*fleetMin, *fleetMax, reg)
+		snapCache := *snapCacheMB << 20
+		if *snapCacheMB < 0 {
+			snapCache = -1 // unbounded
+		}
+		restore, err := bench.EnableElasticFleet(*fleetMin, *fleetMax, snapCache, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wbtune: -fleet-max: %v\n", err)
 			os.Exit(1)
@@ -111,6 +116,9 @@ func main() {
 		defer restore()
 	} else if *fleetMin != 1 {
 		fmt.Fprintln(os.Stderr, "wbtune: -fleet-min requires -fleet-max")
+		os.Exit(2)
+	} else if *snapCacheMB != 0 {
+		fmt.Fprintln(os.Stderr, "wbtune: -snap-cache-mb requires -fleet-max")
 		os.Exit(2)
 	}
 

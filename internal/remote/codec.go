@@ -11,24 +11,33 @@ import (
 	"repro/internal/strategy"
 )
 
-// protocolVersion is negotiated in the hello frame; a mismatch rejects the
-// connection rather than misparsing frames. Version 3 adds mux chunk frames
-// (large messages interleave as mChunk streams, see mux.go) on top of
-// version 2's job-namespaced snapshots and rounds.
-const protocolVersion = 3
+// protocolVersion is negotiated in the hello frame; a version outside
+// [minProtocolVersion, protocolVersion] rejects the connection rather than
+// misparsing frames. Version 3 adds mux chunk frames (large messages
+// interleave as mChunk streams, see mux.go) on top of version 2's
+// job-namespaced snapshots and rounds. Version 4 adds delta snapshot
+// shipping (mSnapDelta/mSnapNack, see snapdelta.go); v3 workers remain fully
+// served — the dispatcher records each worker's negotiated version and ships
+// them full snapshots only.
+const (
+	protocolVersion    = 4
+	minProtocolVersion = 3
+)
 
 // Message type bytes (first payload byte of every frame).
 const (
-	mHello    byte = 1  // worker -> dispatcher: name, slots, version
-	mSnapshot byte = 2  // dispatcher -> worker: content-hashed exposed-store snapshot
-	mRound    byte = 3  // dispatcher -> worker: one sampling round's recipe
-	mTask     byte = 4  // dispatcher -> worker: run one sampling-process attempt
-	mResults  byte = 5  // worker -> dispatcher: a batch of finished samples
-	mEndRound byte = 6  // dispatcher -> worker: forget a round
-	mDrain    byte = 7  // worker -> dispatcher: draining, assign nothing new
-	mBye      byte = 8  // worker -> dispatcher: all in-flight flushed, closing
-	mEndJob   byte = 9  // dispatcher -> worker: a job closed, drop its snapshots
-	mChunk    byte = 10 // either direction: one chunk of an interleaved message
+	mHello     byte = 1  // worker -> dispatcher: name, slots, version
+	mSnapshot  byte = 2  // dispatcher -> worker: content-hashed exposed-store snapshot
+	mRound     byte = 3  // dispatcher -> worker: one sampling round's recipe
+	mTask      byte = 4  // dispatcher -> worker: run one sampling-process attempt
+	mResults   byte = 5  // worker -> dispatcher: a batch of finished samples
+	mEndRound  byte = 6  // dispatcher -> worker: forget a round
+	mDrain     byte = 7  // worker -> dispatcher: draining, assign nothing new
+	mBye       byte = 8  // worker -> dispatcher: all in-flight flushed, closing
+	mEndJob    byte = 9  // dispatcher -> worker: a job closed, drop its snapshots
+	mChunk     byte = 10 // either direction: one chunk of an interleaved message
+	mSnapDelta byte = 11 // dispatcher -> worker (v4): key-level snapshot delta against a shipped base
+	mSnapNack  byte = 12 // worker -> dispatcher (v4): typed refusal of a delta; answer is a full ship
 )
 
 // snapKey names one cached snapshot: job-scoped so co-tenant jobs of a
@@ -115,6 +124,16 @@ func (r *rbuf) u64() uint64 {
 }
 
 func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// skip advances the cursor n bytes without reading them, bounds-checked like
+// every other accessor. Used by skipValue to walk encoded values by length.
+func (r *rbuf) skip(n uint64) {
+	if r.err != nil || uint64(len(r.b)) < n {
+		r.fail()
+		return
+	}
+	r.b = r.b[n:]
+}
 
 func (r *rbuf) str() string {
 	n := r.uv()

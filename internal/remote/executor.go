@@ -42,7 +42,17 @@ type ExecutorOptions struct {
 	// DefaultAffinityWait; negative disables affinity waiting (pure FIFO
 	// stealing, the pre-elastic behaviour).
 	AffinityWait time.Duration
+	// SnapCacheBytes bounds each job's dispatcher-side encoded-snapshot
+	// cache: retained snapshot versions beyond the newest are evicted oldest
+	// first once their bytes exceed the cap (counted by
+	// wbtuner_snapcache_evictions_total), trading delta-ship coverage for
+	// memory. Zero means DefaultSnapCacheBytes; negative disables the bound.
+	SnapCacheBytes int
 }
+
+// DefaultSnapCacheBytes is the default per-job bound on retained encoded
+// snapshot versions (the delta-ship base set).
+const DefaultSnapCacheBytes = 64 << 20
 
 // DefaultAffinityWait is the default bound on how long a sample holds out
 // for a snapshot-affine worker before stealing lands it anywhere. It is
@@ -65,6 +75,7 @@ const DefaultAffinityWait = 2 * time.Millisecond
 type NetExecutor struct {
 	opts    ExecutorOptions
 	affWait time.Duration
+	snapCap int // per-job byte bound on retained snapshot versions
 	fm      *fleetMetrics
 
 	mu        sync.Mutex
@@ -82,15 +93,34 @@ type NetExecutor struct {
 	snaps  map[uint64]*jobSnap // job id -> encoded-snapshot cache
 }
 
-// jobSnap caches one job's encoded exposed-store snapshot, keyed by the
-// store's version counter so unchanged @load state is encoded once per
-// version — and, with a per-job entry, co-tenant jobs on a shared Runtime
-// never thrash each other's cache between interleaved rounds.
+// snapVersion is one retained encoded snapshot version of a job. data is
+// immutable once stored and may be referenced by queued bulk items, so
+// eviction only drops the reference (the GC reclaims it; it is never
+// recycled into the buffer pool). delta, when non-nil, is the encoded
+// mSnapDelta frame patching this version's bytes into the job's current
+// version; ratioFail records that the delta existed but exceeded the ratio
+// bound, so ships from this base fall back to full with cause=ratio.
+type snapVersion struct {
+	ver       uint64
+	hash      uint64
+	data      []byte
+	delta     []byte
+	ratioFail bool
+}
+
+// jobSnap caches one job's encoded exposed-store snapshot history. The
+// current version is encoded (or patched) once per store version; older
+// versions are retained, oldest-first in lru and bounded by the byte cap,
+// as delta-ship bases — a worker last sent any retained version receives a
+// key-level patch instead of the full encoding. Per-job entries keep
+// co-tenant jobs on a shared Runtime from thrashing each other's cache
+// between interleaved rounds.
 type jobSnap struct {
-	store *store.Exposed
-	ver   uint64
-	data  []byte
-	hash  uint64
+	store  *store.Exposed
+	cur    *snapVersion
+	byHash map[uint64]*snapVersion // every retained version, cur included
+	lru    []uint64                // retained hashes, oldest first; cur last
+	bytes  int                     // sum of len(data) over byHash
 }
 
 // NewExecutor returns an executor with no workers; add them with AddConn or
@@ -105,6 +135,14 @@ func NewExecutor(opts ExecutorOptions) *NetExecutor {
 		ex.affWait = opts.AffinityWait
 	case opts.AffinityWait == 0:
 		ex.affWait = DefaultAffinityWait
+	}
+	switch {
+	case opts.SnapCacheBytes > 0:
+		ex.snapCap = opts.SnapCacheBytes
+	case opts.SnapCacheBytes == 0:
+		ex.snapCap = DefaultSnapCacheBytes
+	default:
+		ex.snapCap = int(^uint(0) >> 1) // unbounded
 	}
 	if opts.Obs != nil {
 		ex.fm = newFleetMetrics(opts.Obs)
@@ -175,7 +213,8 @@ type dworker struct {
 	wire       *wire
 	name       string
 	slots      int
-	chunkBound int // per-connection demux stream bound; 0 = protocol default
+	proto      uint64 // negotiated protocol version; < 4 never receives deltas
+	chunkBound int    // per-connection demux stream bound; 0 = protocol default
 	m          *workerMetrics
 
 	// shipMu orders one worker's control frames: under it, a round frame
@@ -201,10 +240,13 @@ type dworker struct {
 	haveSnaps map[snapKey]struct{} // dispatcher-side affinity index
 }
 
-// bulkItem is one snapshot ship queued on the bulk lane.
+// bulkItem is one snapshot ship queued on the bulk lane: a full snapshot
+// (data) or, when delta is non-nil, a complete encoded mSnapDelta frame
+// patching a base the worker already holds into version hash.
 type bulkItem struct {
 	job, hash uint64
 	data      []byte
+	delta     []byte
 }
 
 // call is one Execute invocation in flight.
@@ -297,9 +339,9 @@ func (ex *NetExecutor) addConn(conn net.Conn, transportName string, tn transport
 	if err != nil {
 		return "", err
 	}
-	if hello.Version != protocolVersion {
-		return "", fmt.Errorf("remote: protocol version mismatch: worker %d, dispatcher %d",
-			hello.Version, protocolVersion)
+	if hello.Version < minProtocolVersion || hello.Version > protocolVersion {
+		return "", fmt.Errorf("remote: protocol version mismatch: worker %d, dispatcher %d-%d",
+			hello.Version, minProtocolVersion, protocolVersion)
 	}
 	if hello.Slots < 1 {
 		return "", fmt.Errorf("%w: worker advertises no slots", errCodec)
@@ -333,6 +375,7 @@ func (ex *NetExecutor) addConn(conn net.Conn, transportName string, tn transport
 		wire:       newWire(cc),
 		name:       name,
 		slots:      hello.Slots,
+		proto:      hello.Version,
 		chunkBound: tn.MaxInflightChunks,
 		m:          m,
 		sentSnaps:  make(map[snapKey]bool),
@@ -362,8 +405,8 @@ func (ex *NetExecutor) warmWorker(w *dworker) {
 	ex.snapMu.Lock()
 	items := make([]bulkItem, 0, len(ex.snaps))
 	for job, s := range ex.snaps {
-		if s.data != nil {
-			items = append(items, bulkItem{job: job, hash: s.hash, data: s.data})
+		if s.cur != nil {
+			items = append(items, bulkItem{job: job, hash: s.cur.hash, data: s.cur.data})
 		}
 	}
 	ex.snapMu.Unlock()
@@ -371,11 +414,7 @@ func (ex *NetExecutor) warmWorker(w *dworker) {
 		sk := snapKey{job: it.job, hash: it.hash}
 		w.shipMu.Lock()
 		if !w.sentSnaps[sk] {
-			w.sentSnaps[sk] = true
-			select {
-			case w.bulkq <- it:
-			case <-w.stop:
-				delete(w.sentSnaps, sk)
+			if err := w.queueSnapshotLocked(it.job, it.hash, it.data); err != nil {
 				w.shipMu.Unlock()
 				return
 			}
@@ -387,6 +426,95 @@ func (ex *NetExecutor) warmWorker(w *dworker) {
 		}
 		ex.mu.Unlock()
 	}
+}
+
+// queueSnapshotLocked queues the (job, hash) snapshot on w's bulk lane,
+// shipping a delta against a base this worker already holds when the v4
+// rules allow it and the full encoding otherwise. Callers hold w.shipMu and
+// have checked sentSnaps.
+func (w *dworker) queueSnapshotLocked(job, hash uint64, data []byte) error {
+	sk := snapKey{job: job, hash: hash}
+	it := w.ex.snapItem(w, sk, data)
+	w.sentSnaps[sk] = true
+	select {
+	case w.bulkq <- it:
+		return nil
+	case <-w.stop:
+		delete(w.sentSnaps, sk)
+		return errWorkerStopped
+	}
+}
+
+// snapItem decides how (job, hash) reaches w: an mSnapDelta against the
+// newest retained base already queued to this worker when the worker speaks
+// v4 and the cached delta passed the ratio bound; the full encoding
+// otherwise, counting why the delta path was unavailable. Callers hold
+// w.shipMu (which guards w.sentSnaps); snapMu nests inside it.
+func (ex *NetExecutor) snapItem(w *dworker, sk snapKey, data []byte) bulkItem {
+	full := bulkItem{job: sk.job, hash: sk.hash, data: data}
+	ex.snapMu.Lock()
+	defer ex.snapMu.Unlock()
+	s := ex.snaps[sk.job]
+	if s == nil || s.cur == nil || s.cur.hash != sk.hash {
+		// Not the version the delta cache targets (a stale round's data or a
+		// dropped cache): nothing to patch from, and nothing to count — no
+		// delta ever existed for this ship.
+		ex.countSnapBytes(false, len(data))
+		return full
+	}
+	var best *snapVersion
+	hadBase, hadRatio := false, false
+	for osk := range w.sentSnaps {
+		if osk.job != sk.job || osk.hash == sk.hash {
+			continue
+		}
+		hadBase = true
+		b := s.byHash[osk.hash]
+		if b == nil || b == s.cur {
+			continue
+		}
+		if b.ratioFail {
+			hadRatio = true
+			continue
+		}
+		if b.delta != nil && (best == nil || b.ver > best.ver) {
+			best = b
+		}
+	}
+	switch {
+	case !hadBase:
+		// Cold worker for this job: the first ship is necessarily full.
+	case w.proto < snapDeltaProto:
+		ex.countFallback(func(m *fleetMetrics) *obs.Counter { return m.fallbackVer })
+	case best != nil:
+		ex.countSnapBytes(true, len(best.delta))
+		return bulkItem{job: sk.job, hash: sk.hash, delta: best.delta}
+	case hadRatio:
+		ex.countFallback(func(m *fleetMetrics) *obs.Counter { return m.fallbackRatio })
+	default:
+		// Every base this worker holds was evicted from the dispatcher cache.
+		ex.countFallback(func(m *fleetMetrics) *obs.Counter { return m.fallbackBase })
+	}
+	ex.countSnapBytes(false, len(data))
+	return full
+}
+
+func (ex *NetExecutor) countSnapBytes(delta bool, n int) {
+	if ex.fm == nil {
+		return
+	}
+	if delta {
+		ex.fm.snapBytesDelta.Add(int64(n))
+	} else {
+		ex.fm.snapBytesFull.Add(int64(n))
+	}
+}
+
+func (ex *NetExecutor) countFallback(pick func(*fleetMetrics) *obs.Counter) {
+	if ex.fm == nil {
+		return
+	}
+	pick(ex.fm).Inc()
 }
 
 // liveLocked counts workers accepting new samples. Callers hold ex.mu.
@@ -474,6 +602,13 @@ func (ex *NetExecutor) RemoveConn(ctx context.Context, name string) error {
 // cached per job by the store's version counter so unchanged @load state is
 // encoded once per version, not once per round — even while other jobs'
 // rounds interleave on the same executor.
+//
+// A job's first snapshot is a fresh encodeSnapshot; every later version's
+// canonical encoding is *defined* as applySnapDelta(previous, delta) — see
+// snapdelta.go for why re-encoding would break hash stability. The per-base
+// delta payloads workers receive are computed here, eagerly: BeginRound runs
+// while the job's store is quiescent, so one ChangedSince scan covers every
+// retained base and ship time never races a concurrent Set.
 func (ex *NetExecutor) snapshotFor(job uint64, e *store.Exposed) ([]byte, uint64, error) {
 	if e == nil || e.Len() == 0 {
 		return nil, 0, nil
@@ -481,21 +616,173 @@ func (ex *NetExecutor) snapshotFor(job uint64, e *store.Exposed) ([]byte, uint64
 	ex.snapMu.Lock()
 	defer ex.snapMu.Unlock()
 	ver := e.Version()
-	if s := ex.snaps[job]; s != nil && s.store == e && s.ver == ver {
-		return s.data, s.hash, nil
+	s := ex.snaps[job]
+	if s != nil && s.store == e && s.cur.ver == ver {
+		return s.cur.data, s.cur.hash, nil
 	}
-	data, hash, err := encodeSnapshot(e, ex.opts.Values)
+	if s == nil || s.store != e {
+		// First snapshot for this job (or the job re-bound to a fresh store,
+		// e.g. after resume): full encode, fresh history.
+		data, hash, err := encodeSnapshot(e, ex.opts.Values)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := checkSnapshotSize(len(data)); err != nil {
+			return nil, 0, err
+		}
+		cur := &snapVersion{ver: ver, hash: hash, data: data}
+		ex.snaps[job] = &jobSnap{
+			store:  e,
+			cur:    cur,
+			byHash: map[uint64]*snapVersion{hash: cur},
+			lru:    []uint64{hash},
+			bytes:  len(data),
+		}
+		return data, hash, nil
+	}
+	data, hash, err := ex.advanceSnapLocked(job, e, s, ver)
 	if err != nil {
 		return nil, 0, err
 	}
-	// Enforce the wire cap at encode time: an exposed store too large to
-	// ship fails the round over to the in-process path instead of letting
-	// the worker drop the connection on an oversized frame.
-	if len(data)+snapshotOverhead > maxMessage {
-		return nil, 0, fmt.Errorf("%w: %d-byte exposed-store snapshot", ErrMessageTooBig, len(data))
-	}
-	ex.snaps[job] = &jobSnap{store: e, ver: ver, data: data, hash: hash}
 	return data, hash, nil
+}
+
+// checkSnapshotSize enforces the wire cap at encode time: an exposed store
+// too large to ship fails the round over to the in-process path instead of
+// letting the worker drop the connection on an oversized frame.
+func checkSnapshotSize(n int) error {
+	if n+snapshotOverhead > maxMessage {
+		return fmt.Errorf("%w: %d-byte exposed-store snapshot", ErrMessageTooBig, n)
+	}
+	return nil
+}
+
+// advanceSnapLocked moves job's snapshot cache from s.cur to the store's
+// current version: it patches the previous canonical encoding with the keys
+// changed since it, then refreshes every retained base's cached delta to
+// target the new version, evicting oldest bases past the byte cap. Callers
+// hold ex.snapMu.
+func (ex *NetExecutor) advanceSnapLocked(job uint64, e *store.Exposed, s *jobSnap, ver uint64) ([]byte, uint64, error) {
+	prev := s.cur
+	oldest := s.byHash[s.lru[0]].ver
+	changed, deleted := e.ChangedSince(oldest)
+
+	// Encode each value changed since the previous version exactly once;
+	// these bytes become part of the new canonical encoding.
+	vw := &wbuf{}
+	var chPrev []encEntry
+	for _, c := range changed {
+		if c.Ver <= prev.ver {
+			continue
+		}
+		start := len(vw.b)
+		if err := appendValue(vw, c.V, ex.opts.Values); err != nil {
+			return nil, 0, err
+		}
+		chPrev = append(chPrev, encEntry{scope: c.Scope, name: c.Name, val: vw.b[start:]})
+	}
+	var delPrev []delKey
+	for _, d := range deleted {
+		if d.Ver > prev.ver {
+			delPrev = append(delPrev, delKey{scope: d.Scope, name: d.Name})
+		}
+	}
+	d := &snapDelta{Job: job, BaseHash: prev.hash, Changed: chPrev, Deleted: delPrev}
+	newData, err := applySnapDelta(prev.data, d)
+	if err != nil {
+		return nil, 0, err // unreachable on our own encodings
+	}
+	newHash := fnv1a64(newData)
+	if newHash == prev.hash {
+		// Content-identical rewrite (same values re-Set): nothing to ship.
+		freeBuf(newData)
+		prev.ver = ver
+		return prev.data, prev.hash, nil
+	}
+	if err := checkSnapshotSize(len(newData)); err != nil {
+		freeBuf(newData)
+		return nil, 0, err
+	}
+	d.NewHash = newHash
+
+	// Index the new encoding so per-base deltas slice current value bytes
+	// out of it instead of re-encoding (which would change handle ids).
+	ents, err := parseSnapEntries(newData)
+	if err != nil {
+		return nil, 0, err // unreachable: we just built it
+	}
+	index := make(map[delKey][]byte, len(ents))
+	for _, en := range ents {
+		index[delKey{scope: en.scope, name: en.name}] = en.val
+	}
+
+	prev.setDelta(encodeSnapDelta(d), len(newData))
+	for _, h := range s.lru {
+		b := s.byHash[h]
+		if b == prev {
+			continue
+		}
+		var ch []encEntry
+		var del []delKey
+		for _, c := range changed {
+			if c.Ver <= b.ver {
+				continue
+			}
+			if val, ok := index[delKey{scope: c.Scope, name: c.Name}]; ok {
+				ch = append(ch, encEntry{scope: c.Scope, name: c.Name, val: val})
+			}
+		}
+		for _, dk := range deleted {
+			if dk.Ver > b.ver {
+				del = append(del, delKey{scope: dk.Scope, name: dk.Name})
+			}
+		}
+		b.setDelta(encodeSnapDelta(&snapDelta{
+			Job: job, BaseHash: b.hash, NewHash: newHash, Changed: ch, Deleted: del,
+		}), len(newData))
+	}
+
+	// A content hash seen before (a store that cycled back to earlier
+	// contents) re-enters as the current version rather than duplicating.
+	if old, ok := s.byHash[newHash]; ok {
+		for i, h := range s.lru {
+			if h == newHash {
+				s.lru = append(s.lru[:i], s.lru[i+1:]...)
+				break
+			}
+		}
+		s.bytes -= len(old.data)
+		delete(s.byHash, newHash)
+	}
+	cur := &snapVersion{ver: ver, hash: newHash, data: newData}
+	s.byHash[newHash] = cur
+	s.lru = append(s.lru, newHash)
+	s.cur = cur
+	s.bytes += len(newData)
+	for s.bytes > ex.snapCap && len(s.lru) > 1 {
+		h := s.lru[0]
+		s.lru = s.lru[1:]
+		s.bytes -= len(s.byHash[h].data)
+		delete(s.byHash, h)
+		if ex.fm != nil {
+			ex.fm.snapEvictions.Inc()
+		}
+	}
+	// Tombstones at or below the oldest retained version can never be asked
+	// about again.
+	e.CompactDeletions(s.byHash[s.lru[0]].ver)
+	return newData, newHash, nil
+}
+
+// setDelta caches payload as v's patch to the new current version unless it
+// exceeds the ratio bound (half the full encoding), in which case ships from
+// this base fall back to full with cause=ratio.
+func (v *snapVersion) setDelta(payload []byte, fullLen int) {
+	if len(payload)*2 <= fullLen {
+		v.delta, v.ratioFail = payload, false
+	} else {
+		v.delta, v.ratioFail = nil, true
+	}
 }
 
 // snapshotOverhead bounds the snapshot message's framing prefix (type byte,
@@ -840,11 +1127,8 @@ func (w *dworker) ship(c *call) error {
 			if w.m != nil {
 				w.m.snapMisses.Inc()
 			}
-			w.sentSnaps[sk] = true
-			select {
-			case w.bulkq <- bulkItem{job: rs.job, hash: rs.snapHash, data: rs.snapData}:
-			case <-w.stop:
-				return errWorkerStopped
+			if err := w.queueSnapshotLocked(rs.job, rs.snapHash, rs.snapData); err != nil {
+				return err
 			}
 		} else if w.m != nil {
 			w.m.snapHits.Inc()
@@ -874,11 +1158,17 @@ func (w *dworker) bulkLoop() {
 	for {
 		select {
 		case it := <-w.bulkq:
-			hdr.b = hdr.b[:0]
-			hdr.byte(mSnapshot)
-			hdr.uv(it.job)
-			hdr.u64(it.hash)
-			if err := w.wire.writeMsg(hdr.b, it.data); err != nil {
+			var err error
+			if it.delta != nil {
+				err = w.wire.writeMsg(it.delta)
+			} else {
+				hdr.b = hdr.b[:0]
+				hdr.byte(mSnapshot)
+				hdr.uv(it.job)
+				hdr.u64(it.hash)
+				err = w.wire.writeMsg(hdr.b, it.data)
+			}
+			if err != nil {
 				w.ex.fail(w, err)
 				return
 			}
@@ -932,6 +1222,13 @@ func (w *dworker) readLoop() {
 			for _, m := range batch {
 				ex.deliver(w, m)
 			}
+		case mSnapNack:
+			n, err := decodeSnapNack(msg[1:])
+			if err != nil {
+				ex.fail(w, err)
+				return
+			}
+			ex.handleSnapNack(w, n)
 		case mDrain:
 			ex.mu.Lock()
 			w.draining = true
@@ -952,6 +1249,37 @@ func (w *dworker) readLoop() {
 }
 
 var errWorkerBye = fmt.Errorf("remote: worker drained and disconnected")
+
+// handleSnapNack answers a worker's typed delta refusal (base missing from
+// its cache, or a post-patch hash mismatch) with an immediate full ship of
+// the refused version — divergence heals in one round trip; it is never
+// silent. The sent mark is cleared first so that even if the encoded bytes
+// are no longer retained, a later round re-ships rather than wedging the
+// worker's parked tasks until snapWaitTimeout bounces them.
+func (ex *NetExecutor) handleSnapNack(w *dworker, n snapNack) {
+	ex.countFallback(func(m *fleetMetrics) *obs.Counter { return m.fallbackNack })
+	ex.snapMu.Lock()
+	var data []byte
+	if s := ex.snaps[n.Job]; s != nil {
+		if v := s.byHash[n.NewHash]; v != nil {
+			data = v.data
+		}
+	}
+	ex.snapMu.Unlock()
+	sk := snapKey{job: n.Job, hash: n.NewHash}
+	w.shipMu.Lock()
+	delete(w.sentSnaps, sk)
+	if data != nil {
+		w.sentSnaps[sk] = true
+		ex.countSnapBytes(false, len(data))
+		select {
+		case w.bulkq <- bulkItem{job: n.Job, hash: n.NewHash, data: data}:
+		case <-w.stop:
+			delete(w.sentSnaps, sk)
+		}
+	}
+	w.shipMu.Unlock()
+}
 
 // deliver hands one result to its waiting Execute call and frees the slot.
 func (ex *NetExecutor) deliver(w *dworker, m resultMsg) {

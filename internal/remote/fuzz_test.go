@@ -192,6 +192,108 @@ func FuzzMuxDecode(f *testing.F) {
 	})
 }
 
+// fuzzDeltaBase builds the fixed base snapshot FuzzSnapDeltaDecode patches
+// against — a deterministic encoding with several value shapes, so crafted
+// deltas exercise replace, insert, and delete paths.
+func fuzzDeltaBase() ([]byte, uint64) {
+	e := store.NewExposed()
+	e.Set("global", "knob", 1.5)
+	e.Set("global", "tag", "blue")
+	e.Set("global", "trace", []float64{1, 2, 3})
+	e.Set("aux", "ids", []int{7, 8})
+	b, hash, err := encodeSnapshot(e, nil)
+	if err != nil {
+		panic(err)
+	}
+	return b, hash
+}
+
+// FuzzSnapDeltaDecode feeds arbitrary bytes through the delta path exactly as
+// a worker read loop would: decode the mSnapDelta payload, then patch the
+// fixed base snapshot with it. Nothing may panic — malformed symbol ids,
+// hostile counts, truncated value bytes, wrong hashes, and unsorted or
+// duplicate keys must all come back as errors or as patches the post-patch
+// hash check rejects. Decoded deltas must survive a re-encode/re-decode round
+// trip, and every successful patch must still parse as a snapshot encoding.
+// The seed corpus in testdata covers the valid-delta, hash-mismatch,
+// base-missing, and truncation shapes the nack protocol distinguishes.
+func FuzzSnapDeltaDecode(f *testing.F) {
+	base, baseHash := fuzzDeltaBase()
+
+	// A well-formed delta: replace one key, add one, delete one — with the
+	// true post-patch hash, the shape a healthy v4 stream carries.
+	valid := &snapDelta{BaseHash: baseHash, Changed: []encEntry{
+		{scope: "global", name: "knob", val: func() []byte {
+			w := &wbuf{}
+			w.byte(vFloat64)
+			w.f64(2.5)
+			return w.b
+		}()},
+		{scope: "global", name: "new", val: []byte{vNil}},
+	}, Deleted: []delKey{{scope: "global", name: "tag"}}}
+	if patched, err := applySnapDelta(base, valid); err == nil {
+		valid.NewHash = fnv1a64(patched)
+		freeBuf(patched)
+	}
+	vb := encodeSnapDelta(valid)
+	f.Add(vb[1:])
+	// Hash mismatch: the patch applies but must fail verification.
+	wrongHash := *valid
+	wrongHash.NewHash ^= 1
+	f.Add(encodeSnapDelta(&wrongHash)[1:])
+	// Base missing: refers to an encoding nobody holds.
+	noBase := *valid
+	noBase.BaseHash ^= 1
+	f.Add(encodeSnapDelta(&noBase)[1:])
+	f.Add(vb[1 : len(vb)/2])                                                  // truncated mid-entry
+	f.Add([]byte{})                                                           // empty payload
+	f.Add([]byte{0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff}) // hostile symbol count
+	{
+		w := &wbuf{} // symbol id past the table
+		w.uv(9)
+		w.u64(baseHash)
+		w.u64(0)
+		w.uv(1)
+		w.str("global")
+		w.uv(1)
+		w.uv(7)
+		w.uv(0)
+		w.byte(vNil)
+		w.uv(0)
+		f.Add(w.b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := decodeSnapDelta(data)
+		if err != nil {
+			return
+		}
+		// Round trip: canonical re-encode of whatever decoded must decode
+		// back to the same structural delta.
+		b2 := encodeSnapDelta(&d)
+		d2, err := decodeSnapDelta(b2[1:])
+		if err != nil || fmt.Sprintf("%#v", d2) != fmt.Sprintf("%#v", d) {
+			t.Fatalf("delta round trip diverged: %v", err)
+		}
+		patched, err := applySnapDelta(base, &d)
+		if err != nil {
+			return
+		}
+		// The patch output must itself be a parseable snapshot encoding.
+		if _, err := parseSnapEntries(patched); err != nil {
+			t.Fatalf("patch produced an unparseable encoding: %v", err)
+		}
+		// When the hash verifies (as the worker requires before install),
+		// decoding may still reject unresolvable values, but never panic.
+		if fnv1a64(patched) == d.NewHash {
+			if e, err := decodeSnapshot(patched, nil); err == nil {
+				_ = e.Entries()
+			}
+		}
+		freeBuf(patched)
+	})
+}
+
 // reDecode re-decodes an encoded message and compares printed forms, which
 // treats NaN == NaN and ignores varint canonicality in the original input.
 func reDecode[T any](t *testing.T, kind string, orig T, dec func([]byte) (T, error), b []byte) {

@@ -44,6 +44,18 @@ const (
 	// affinity dispatcher's figure of merit.
 	MetricAffinityHits   = "wbtuner_affinity_hit_total"
 	MetricAffinityMisses = "wbtuner_affinity_miss_total"
+	// MetricSnapshotBytes counts encoded snapshot payload bytes queued for
+	// shipment, labeled mode=full|delta. The full/delta ratio on an
+	// incremental-store workload is the v4 protocol's figure of merit.
+	MetricSnapshotBytes = "wbtuner_snapshot_bytes_total"
+	// MetricSnapDeltaFallback counts ships that fell back to a full snapshot
+	// when a delta was conceivable, labeled cause=version (worker negotiated
+	// v3), base (no shipped base to delta against), ratio (delta exceeded
+	// half the full encoding), or nack (worker refused the delta).
+	MetricSnapDeltaFallback = "wbtuner_snapshot_delta_fallback_total"
+	// MetricSnapCacheEvictions counts dispatcher-side encoded-snapshot cache
+	// entries evicted by the byte-bounded LRU.
+	MetricSnapCacheEvictions = "wbtuner_snapcache_evictions_total"
 )
 
 // fleetMetrics holds the executor's fleet-level instruments (nil when the
@@ -52,6 +64,14 @@ type fleetMetrics struct {
 	fleetSize *obs.Gauge
 	affHits   *obs.Counter
 	affMisses *obs.Counter
+
+	snapBytesFull  *obs.Counter
+	snapBytesDelta *obs.Counter
+	fallbackVer    *obs.Counter
+	fallbackBase   *obs.Counter
+	fallbackRatio  *obs.Counter
+	fallbackNack   *obs.Counter
+	snapEvictions  *obs.Counter
 }
 
 func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
@@ -61,10 +81,20 @@ func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
 	reg.SetHelp(MetricFleetSize, "live workers counted in the fleet capacity")
 	reg.SetHelp(MetricAffinityHits, "samples dispatched to a worker already holding their snapshot")
 	reg.SetHelp(MetricAffinityMisses, "samples dispatched to a worker that had to be shipped their snapshot")
+	reg.SetHelp(MetricSnapshotBytes, "encoded snapshot payload bytes queued for shipment")
+	reg.SetHelp(MetricSnapDeltaFallback, "snapshot ships that fell back from delta to full")
+	reg.SetHelp(MetricSnapCacheEvictions, "dispatcher encoded-snapshot cache entries evicted by the byte cap")
 	return &fleetMetrics{
-		fleetSize: reg.Gauge(MetricFleetSize),
-		affHits:   reg.Counter(MetricAffinityHits),
-		affMisses: reg.Counter(MetricAffinityMisses),
+		fleetSize:      reg.Gauge(MetricFleetSize),
+		affHits:        reg.Counter(MetricAffinityHits),
+		affMisses:      reg.Counter(MetricAffinityMisses),
+		snapBytesFull:  reg.Counter(MetricSnapshotBytes, "mode", "full"),
+		snapBytesDelta: reg.Counter(MetricSnapshotBytes, "mode", "delta"),
+		fallbackVer:    reg.Counter(MetricSnapDeltaFallback, "cause", "version"),
+		fallbackBase:   reg.Counter(MetricSnapDeltaFallback, "cause", "base"),
+		fallbackRatio:  reg.Counter(MetricSnapDeltaFallback, "cause", "ratio"),
+		fallbackNack:   reg.Counter(MetricSnapDeltaFallback, "cause", "nack"),
+		snapEvictions:  reg.Counter(MetricSnapCacheEvictions),
 	}
 }
 

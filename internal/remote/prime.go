@@ -6,7 +6,9 @@ import "repro/internal/store"
 // worker — the fleet-warming half of a job migration. A resumed job's
 // restored @load state would otherwise be re-shipped lazily by the first
 // round that needs it on each worker; priming moves that transfer off the
-// first rounds' critical path. It implements core.SnapshotPrimer.
+// first rounds' critical path. Workers already holding an older version of
+// the job's snapshot receive a key-level delta (see snapdelta.go) instead of
+// the full encoding. It implements core.SnapshotPrimer.
 func (ex *NetExecutor) PrimeSnapshot(job uint64, e *store.Exposed) error {
 	data, hash, err := ex.snapshotFor(job, e)
 	if err != nil {
@@ -34,17 +36,14 @@ func (ex *NetExecutor) PrimeSnapshot(job uint64, e *store.Exposed) error {
 		if w.m != nil {
 			w.m.snapMisses.Inc()
 		}
-		w.sentSnaps[sk] = true
 		shipped := true
-		select {
-		case w.bulkq <- bulkItem{job: job, hash: hash, data: data}:
-		case <-w.stop:
-			// The worker went away mid-prime: un-mark so a later round's
-			// ship to a reconnected worker is not suppressed.
-			delete(w.sentSnaps, sk)
+		if err := w.queueSnapshotLocked(job, hash, data); err != nil {
+			// The worker went away mid-prime; queueSnapshotLocked un-marked
+			// it so a later round's ship to a reconnected worker is not
+			// suppressed.
 			shipped = false
 			if firstErr == nil {
-				firstErr = errWorkerStopped
+				firstErr = err
 			}
 		}
 		w.shipMu.Unlock()

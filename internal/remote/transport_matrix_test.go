@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 	"repro/internal/remote/transport"
 )
 
@@ -62,6 +63,94 @@ func TestTransportMatrixParity(t *testing.T) {
 			}
 			if err := <-serveDone; err != nil {
 				t.Fatalf("Serve: %v", err)
+			}
+			ex.Close()
+		})
+	}
+}
+
+// TestTransportMatrixDeltaParity runs the incremental-store workload over
+// every transport with a mid-run elastic scale-up: a second worker joins
+// after the first round (cold, so it is warmed with a full ship) and later
+// rounds patch it with deltas like everyone else. Each leg must ship real
+// delta traffic, stay byte-identical to the in-process run, and pass
+// leakcheck.
+func TestTransportMatrixDeltaParity(t *testing.T) {
+	const rounds = 4
+	local := incrementalProgram(t, core.Options{MaxPool: 4, Seed: 42}, rounds, nil)
+
+	mem := transport.NewMem()
+	tlsT, err := transport.SelfSigned()
+	if err != nil {
+		t.Fatalf("self-signed transport: %v", err)
+	}
+	dir := t.TempDir()
+	matrix := []struct {
+		tr    transport.Transport
+		addrs [2]string
+	}{
+		{transport.TCP(), [2]string{"127.0.0.1:0", "127.0.0.1:0"}},
+		{transport.Unix(), [2]string{filepath.Join(dir, "d1.sock"), filepath.Join(dir, "d2.sock")}},
+		{tlsT, [2]string{"127.0.0.1:0", "127.0.0.1:0"}},
+		{mem, [2]string{"delta-a", "delta-b"}},
+	}
+	for _, leg := range matrix {
+		leg := leg
+		t.Run(leg.tr.Name(), func(t *testing.T) {
+			t.Cleanup(leakcheck.Check(t))
+			var (
+				workers []*Worker
+				done    []chan error
+			)
+			// The incremental program's region body is a closure, so the
+			// dispatcher publishes it dynamically and the workers resolve it
+			// through the shared registry — the loopback trick, here carried
+			// over real sockets.
+			reg := NewRegistry()
+			startWorker := func(ex *NetExecutor, addr, name string) {
+				ln, err := leg.tr.Listen(addr)
+				if err != nil {
+					t.Fatalf("listen %s: %v", addr, err)
+				}
+				w := NewWorker(WorkerOptions{Registry: reg, Slots: 2, Name: name})
+				ch := make(chan error, 1)
+				go func() { ch <- w.Serve(ln) }()
+				if err := ex.DialTransport(leg.tr, ln.Addr().String()); err != nil {
+					t.Fatalf("DialTransport %s: %v", addr, err)
+				}
+				workers = append(workers, w)
+				done = append(done, ch)
+			}
+
+			oreg := obs.NewRegistry()
+			ex := NewExecutor(ExecutorOptions{Registry: reg, Dynamic: true, Obs: oreg})
+			startWorker(ex, leg.addrs[0], "dx1-"+leg.tr.Name())
+			remote := incrementalProgram(t, core.Options{MaxPool: 4, Seed: 42, Executor: ex}, rounds,
+				func(round int) {
+					if round == 0 { // mid-run scale-up: joins cold, warmed full, patched after
+						startWorker(ex, leg.addrs[1], "dx2-"+leg.tr.Name())
+					}
+				})
+			if remote != local {
+				t.Fatalf("%s delta run diverged from in-process run:\nlocal:\n%s\nremote:\n%s",
+					leg.tr.Name(), local, remote)
+			}
+			if d := ex.fm.snapBytesDelta.Value(); d == 0 {
+				t.Errorf("%s: no delta bytes shipped", leg.tr.Name())
+			}
+			if n := ex.fm.fallbackNack.Value(); n != 0 {
+				t.Errorf("%s: healthy run produced %d nacks", leg.tr.Name(), n)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for i, w := range workers {
+				if err := w.Drain(ctx); err != nil {
+					t.Fatalf("Drain worker %d: %v", i, err)
+				}
+				if err := <-done[i]; err != nil {
+					t.Fatalf("Serve worker %d: %v", i, err)
+				}
 			}
 			ex.Close()
 		})

@@ -39,6 +39,11 @@ type WorkerOptions struct {
 	// streams the demux reassembles concurrently (backpressure on snapshot
 	// interleaving). Zero means the protocol default.
 	MaxInflightChunks int
+	// Protocol pins the version advertised in the hello frame. Zero means
+	// the current protocolVersion; 3 joins as a legacy worker that receives
+	// full snapshots only (no mSnapDelta). Values outside the dispatcher's
+	// accepted range are rejected at handshake.
+	Protocol int
 }
 
 // Worker runs sampling processes on behalf of remote dispatchers. One
@@ -53,6 +58,7 @@ type Worker struct {
 
 	mu          sync.Mutex
 	snaps       map[snapKey]*store.Exposed
+	snapData    map[snapKey][]byte  // encoded bytes, kept as delta-patch bases
 	snapOrder   map[uint64][]uint64 // job id -> hashes, oldest first
 	snapWaiters map[snapKey]chan struct{}
 	conns       map[*wconn]struct{}
@@ -73,11 +79,19 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Slots <= 0 {
 		opts.Slots = 2 * runtime.GOMAXPROCS(0)
 	}
+	if opts.Protocol == 0 {
+		opts.Protocol = protocolVersion
+	}
+	if opts.Protocol < minProtocolVersion || opts.Protocol > protocolVersion {
+		panic(fmt.Sprintf("remote: WorkerOptions.Protocol %d outside supported range %d-%d",
+			opts.Protocol, minProtocolVersion, protocolVersion))
+	}
 	return &Worker{
 		opts:        opts,
 		runner:      core.NewDetachedRunner(),
 		sem:         make(chan struct{}, opts.Slots),
 		snaps:       make(map[snapKey]*store.Exposed),
+		snapData:    make(map[snapKey][]byte),
 		snapOrder:   make(map[uint64][]uint64),
 		snapWaiters: make(map[snapKey]chan struct{}),
 		conns:       make(map[*wconn]struct{}),
@@ -132,7 +146,7 @@ func (w *Worker) ServeConn(conn net.Conn) {
 	w.mu.Unlock()
 
 	if err := c.wire.writeMsg(encodeHello(helloMsg{
-		Version: protocolVersion, Name: w.opts.Name, Slots: w.opts.Slots,
+		Version: uint64(w.opts.Protocol), Name: w.opts.Name, Slots: w.opts.Slots,
 	})); err != nil {
 		w.mu.Lock()
 		delete(w.conns, c)
@@ -154,7 +168,12 @@ func (w *Worker) snapshot(job, hash uint64) (*store.Exposed, bool) {
 	return e, ok
 }
 
-func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed) {
+// installSnapshot caches a decoded snapshot together with its canonical
+// encoded bytes, which later mSnapDelta frames patch as bases. data's
+// ownership transfers to the cache; evicted byte buffers are dropped to the
+// GC (never recycled into the pool) because a concurrent delta application
+// on another connection may still be reading them.
+func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed, data []byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	k := snapKey{job: job, hash: hash}
@@ -166,12 +185,24 @@ func (w *Worker) installSnapshot(job, hash uint64, e *store.Exposed) {
 		return
 	}
 	w.snaps[k] = e
+	w.snapData[k] = data
 	order := append(w.snapOrder[job], hash)
 	if len(order) > snapCacheCap {
-		delete(w.snaps, snapKey{job: job, hash: order[0]})
+		old := snapKey{job: job, hash: order[0]}
+		delete(w.snaps, old)
+		delete(w.snapData, old)
 		order = order[1:]
 	}
 	w.snapOrder[job] = order
+}
+
+// snapshotBase returns the cached canonical encoding for (job, hash), the
+// patch base of an incoming delta.
+func (w *Worker) snapshotBase(job, hash uint64) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.snapData[snapKey{job: job, hash: hash}]
+	return b, ok
 }
 
 // snapWaitTimeout bounds how long a task parks waiting for its snapshot,
@@ -220,6 +251,7 @@ func (w *Worker) endJob(job uint64) {
 	defer w.mu.Unlock()
 	for _, hash := range w.snapOrder[job] {
 		delete(w.snaps, snapKey{job: job, hash: hash})
+		delete(w.snapData, snapKey{job: job, hash: hash})
 	}
 	delete(w.snapOrder, job)
 	for k, ch := range w.snapWaiters {
@@ -389,7 +421,18 @@ func (c *wconn) readLoop() {
 			if err != nil {
 				break
 			}
-			w.installSnapshot(job, hash, e)
+			// Retain the canonical encoding as a future delta-patch base; the
+			// payload buffer is pooled and recycled below, so copy out.
+			data := make([]byte, len(r.b))
+			copy(data, r.b)
+			w.installSnapshot(job, hash, e, data)
+		case mSnapDelta:
+			var d snapDelta
+			d, err = decodeSnapDelta(payload[1:])
+			if err != nil {
+				break
+			}
+			err = c.applyDelta(&d)
 		case mRound:
 			var rm roundMsg
 			rm, err = decodeRound(payload[1:])
@@ -455,6 +498,39 @@ func (c *wconn) readLoop() {
 
 // rounds returns the per-connection round table.
 func (c *wconn) rounds() *sync.Map { return &c.roundsMap }
+
+// applyDelta patches a cached base with a key-level snapshot delta, verifies
+// the post-patch content hash, and installs the result. A base missing from
+// the cache or a hash mismatch sends a typed mSnapNack — the dispatcher
+// answers with a full re-ship, so divergence heals in one round trip and is
+// never silent. A structurally malformed delta is a protocol error that
+// drops the connection, like any other undecodable frame.
+func (c *wconn) applyDelta(d *snapDelta) error {
+	w := c.w
+	base, ok := w.snapshotBase(d.Job, d.BaseHash)
+	if !ok {
+		return c.write(encodeSnapNack(snapNack{
+			Job: d.Job, BaseHash: d.BaseHash, NewHash: d.NewHash, Cause: nackBaseMissing,
+		}))
+	}
+	patched, err := applySnapDelta(base, d)
+	if err != nil {
+		return err
+	}
+	if fnv1a64(patched) != d.NewHash {
+		freeBuf(patched) // single-owner here: safe to recycle
+		return c.write(encodeSnapNack(snapNack{
+			Job: d.Job, BaseHash: d.BaseHash, NewHash: d.NewHash, Cause: nackHashMismatch,
+		}))
+	}
+	e, err := decodeSnapshot(patched, w.opts.Values)
+	if err != nil {
+		freeBuf(patched)
+		return err
+	}
+	w.installSnapshot(d.Job, d.NewHash, e, patched)
+	return nil
+}
 
 // inlineTask reports whether a task should run on the read loop itself: a
 // single-slot worker has at most one sample in flight, so a task goroutine

@@ -39,8 +39,10 @@ const exposedShards = 16
 type skey struct{ scope, name string }
 
 type exposedShard struct {
-	mu sync.RWMutex
-	m  map[skey]any
+	mu  sync.RWMutex
+	m   map[skey]any
+	ver map[skey]uint64 // version counter value at the key's last Set
+	del map[skey]uint64 // version counter value at the key's Delete
 }
 
 // Exposed is the exposed store. Keys combine a scope (typically the function
@@ -56,6 +58,8 @@ func NewExposed() *Exposed {
 	e := &Exposed{}
 	for i := range e.shards {
 		e.shards[i].m = make(map[skey]any)
+		e.shards[i].ver = make(map[skey]uint64)
+		e.shards[i].del = make(map[skey]uint64)
 	}
 	return e
 }
@@ -83,13 +87,39 @@ func (e *Exposed) shard(scope, name string) *exposedShard {
 }
 
 // Set exposes name in scope with the given value, overwriting any previous
-// exposure of the same scoped name.
+// exposure of the same scoped name. The version counter is bumped inside the
+// shard lock so the key's recorded write version (keyVer) is consistent with
+// the global counter: a reader that observes the new global version and then
+// takes the shard lock is guaranteed to see the new value.
 func (e *Exposed) Set(scope, name string, v any) {
 	s := e.shard(scope, name)
+	k := skey{scope, name}
 	s.mu.Lock()
-	s.m[skey{scope, name}] = v
+	ver := e.version.Add(1)
+	s.m[k] = v
+	s.ver[k] = ver
+	if len(s.del) > 0 {
+		delete(s.del, k)
+	}
 	s.mu.Unlock()
-	e.version.Add(1)
+}
+
+// Delete removes an exposed variable, recording the deletion against the
+// version counter so ChangedSince can report it to delta-snapshot consumers.
+// It reports whether the key was present.
+func (e *Exposed) Delete(scope, name string) bool {
+	s := e.shard(scope, name)
+	k := skey{scope, name}
+	s.mu.Lock()
+	_, ok := s.m[k]
+	if ok {
+		ver := e.version.Add(1)
+		delete(s.m, k)
+		delete(s.ver, k)
+		s.del[k] = ver
+	}
+	s.mu.Unlock()
+	return ok
 }
 
 // Get loads an exposed variable. The boolean reports whether it was exposed.
@@ -179,6 +209,80 @@ func (e *Exposed) Entries() []ExposedKV {
 func (e *Exposed) SetEntries(kvs []ExposedKV) {
 	for _, kv := range kvs {
 		e.Set(kv.Scope, kv.Name, kv.V)
+	}
+}
+
+// Key names one exposed-store entry without its value.
+type Key struct{ Scope, Name string }
+
+// ChangedKV is one entry written after some reference version, carrying the
+// version counter value of its latest Set so a consumer tracking several
+// reference points (the dispatcher's per-base delta cache) can slice one
+// ChangedSince result by age instead of rescanning the store per base.
+type ChangedKV struct {
+	Scope, Name string
+	V           any
+	Ver         uint64
+}
+
+// DeletedKey is one entry deleted after some reference version.
+type DeletedKey struct {
+	Scope, Name string
+	Ver         uint64
+}
+
+// ChangedSince reports every entry Set strictly after version since and every
+// key Deleted strictly after it, both sorted by (scope, name). A key that was
+// deleted and re-Set appears only in the changed list; a key Set and then
+// deleted appears only in the deleted list. Passing since=0 returns the full
+// store contents as changes.
+func (e *Exposed) ChangedSince(since uint64) ([]ChangedKV, []DeletedKey) {
+	var ch []ChangedKV
+	var del []DeletedKey
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k, ver := range s.ver {
+			if ver > since {
+				ch = append(ch, ChangedKV{Scope: k.scope, Name: k.name, V: s.m[k], Ver: ver})
+			}
+		}
+		for k, ver := range s.del {
+			if ver > since {
+				del = append(del, DeletedKey{Scope: k.scope, Name: k.name, Ver: ver})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(ch, func(i, j int) bool {
+		if ch[i].Scope != ch[j].Scope {
+			return ch[i].Scope < ch[j].Scope
+		}
+		return ch[i].Name < ch[j].Name
+	})
+	sort.Slice(del, func(i, j int) bool {
+		if del[i].Scope != del[j].Scope {
+			return del[i].Scope < del[j].Scope
+		}
+		return del[i].Name < del[j].Name
+	})
+	return ch, del
+}
+
+// CompactDeletions drops deletion records at or before version upTo, which no
+// remaining ChangedSince consumer can ask about. Without compaction a store
+// that churns keys would accumulate tombstones forever; the dispatcher calls
+// this with the oldest snapshot version it still tracks.
+func (e *Exposed) CompactDeletions(upTo uint64) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		for k, ver := range s.del {
+			if ver <= upTo {
+				delete(s.del, k)
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
