@@ -9,6 +9,13 @@
 //	wbtune -bench Canny -mode wb -http :8080
 //	wbtune -bench Canny -mode wb -fleet-max 8
 //	wbtune -list
+//	wbtune -server http://localhost:8437 -program canny -arg stage1=8
+//
+// -server switches wbtune into client mode: instead of running locally, it
+// submits a JobSpec to a wbtuned control plane, streams the job's rounds,
+// and prints the final result (see cmd/wbtuned). In client mode -program,
+// -job-name, -tenant, -class and repeatable -arg key=value flags shape the
+// spec; -seed and -budget carry over.
 //
 // -metrics writes the run's metrics in Prometheus text format after the
 // run ("-" for stdout); -trace writes the runtime trace as JSONL; -http
@@ -47,7 +54,35 @@ func main() {
 	fleetMax := flag.Int("fleet-max", 0, "autoscale an elastic loopback sampling fleet up to this many workers (wb mode only; 0 = in-process sampling)")
 	fleetMin := flag.Int("fleet-min", 1, "minimum elastic fleet size (with -fleet-max)")
 	snapCacheMB := flag.Int("snap-cache-mb", 0, "dispatcher-side encoded-snapshot cache cap in MiB, for delta shipping (with -fleet-max; 0 = default 64, negative = unbounded)")
+	server := flag.String("server", "", "submit to this wbtuned control plane instead of running locally (e.g. http://localhost:8437)")
+	program := flag.String("program", "synthetic", "service program name (with -server)")
+	jobName := flag.String("job-name", "", "job name on the server (with -server; default cli-<program>-<seed>)")
+	tenant := flag.String("tenant", "", "tenant the job is accounted to (with -server)")
+	class := flag.String("class", "", "priority class: low, normal or high (with -server)")
+	args := argsFlag{}
+	flag.Var(args, "arg", "program argument key=value, repeatable (with -server)")
 	flag.Parse()
+
+	if *server != "" {
+		cls, err := core.ParsePriorityClass(*class)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbtune: -class: %v\n", err)
+			os.Exit(2)
+		}
+		name := *jobName
+		if name == "" {
+			name = fmt.Sprintf("cli-%s-%d", *program, *seed)
+		}
+		os.Exit(runServerMode(*server, core.JobSpec{
+			Name:    name,
+			Tenant:  *tenant,
+			Class:   cls,
+			Program: *program,
+			Args:    args,
+			Seed:    *seed,
+			Budget:  *budget,
+		}))
+	}
 
 	if *list {
 		for _, b := range bench.All() {

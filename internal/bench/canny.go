@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/agg"
@@ -82,103 +83,158 @@ var (
 	cannyHigh  = dist.Uniform(0.2, 0.95)
 )
 
+// cannyRun is the Fig. 4 pipeline body, shared by the offline benchmark
+// harness (WBTune) and the wbtuned service program (bench.RegisterPrograms).
+// Its body method is the function handed to Tuner.Run/RunContext; votes
+// returns the per-survivor majority-voted edge maps in split order, so
+// downstream consensus selection sees a deterministic ordering regardless of
+// how the split children were scheduled.
+type cannyRun struct {
+	bench            CannyBench
+	t                *core.Tuner
+	ds               img.Dataset
+	nStage1, nStage2 int
+	// emit, when non-nil, observes each completed region round (the
+	// service's SSE progress hook). It must be safe for concurrent use.
+	emit func(region string, best float64)
+
+	mu     sync.Mutex
+	childs []cannyVote // one majority-voted edge map per survivor
+	splits int
+}
+
+// cannyVote pairs a child's vote with its survivor split index.
+type cannyVote struct {
+	idx  int
+	vote []float64
+}
+
+func (c *cannyRun) note(region string, best float64) {
+	if c.emit != nil {
+		c.emit(region, best)
+	}
+}
+
+// votes returns the child edge maps ordered by split index.
+func (c *cannyRun) votes() [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.childs, func(i, j int) bool { return c.childs[i].idx < c.childs[j].idx })
+	out := make([][]float64, len(c.childs))
+	for i, cv := range c.childs {
+		out[i] = cv.vote
+	}
+	return out
+}
+
+func (c *cannyRun) body(p *core.P) error {
+	// Expensive loading/preprocessing happens once.
+	p.Work(canny.WorkLoad)
+	noisy := c.ds.Noisy
+	p.Expose("imgSize", noisy.W*noisy.H)
+
+	// Stage 1: sample sigma; commit the smoothed image.
+	res, err := p.Region(core.RegionSpec{
+		Name: "gaussian", Samples: c.nStage1,
+	}, func(sp *core.SP) error {
+		sigma := sp.Float("sigma", cannySigma)
+		sp.Work(canny.WorkSmooth)
+		sp.Commit("sImage", canny.SmoothStage(noisy, sigma))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.note("gaussian", res.BestScore())
+
+	// Custom aggregation (AggregateGaussian): prune poorly smoothed
+	// samples, split one tuning process per survivor. If the heuristic
+	// rejects everything (an unusually clean or noisy scene), fall back
+	// to all samples rather than producing nothing.
+	_ = p.Load("imgSize") // the callback reads the exposed size, as in Fig. 4
+	survivors := make([]int, 0, len(res.Indices("sImage")))
+	for _, i := range res.Indices("sImage") {
+		if canny.WellSmoothed(res.MustValue("sImage", i).(img.Image), noisy) {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		survivors = res.Indices("sImage")
+	}
+	for _, i := range survivors {
+		sm := res.MustValue("sImage", i).(img.Image)
+		// Always carry at least one survivor forward so a tight budget
+		// still produces a result.
+		if c.splits > 0 && c.t.BudgetExceeded() {
+			break
+		}
+		c.splits++
+		si := c.splits
+		p.Split(func(cp *core.P) error {
+			cp.Work(canny.WorkGradient)
+			g := canny.GradientStage(sm)
+			res2, err := cp.Region(core.RegionSpec{
+				Name: "traversal", Samples: c.nStage2,
+			}, func(sp *core.SP) error {
+				low := sp.Float("low", cannyLow)
+				high := sp.Float("high", cannyHigh)
+				sp.Work(canny.WorkTraverse)
+				edges := canny.TraverseStage(g, low, high)
+				// @check: threshold combinations that find no edges at
+				// all are pruned immediately — the white-box shortcut a
+				// black box only discovers after paying for the full
+				// execution.
+				plaus := cannyHeuristic(edges)
+				sp.Check(plaus > -9)
+				sp.Commit("plaus", plaus)
+				sp.Commit("edges", edges.Pix)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			// Neither canny region declares a Score function (aggregation is
+			// custom), so report the best plausibility as the round's score.
+			bestPlaus := math.Inf(-1)
+			for _, j := range res2.Indices("plaus") {
+				if v := res2.MustValue("plaus", j).(float64); v > bestPlaus {
+					bestPlaus = v
+				}
+			}
+			c.note("traversal", bestPlaus)
+			// Custom aggregation: majority-vote the plausible samples,
+			// falling back to all survivors when the plausibility band
+			// rejects everything (very dim scenes).
+			vote, _ := agg.New(agg.MV)
+			for _, j := range res2.Indices("edges") {
+				if res2.MustValue("plaus", j).(float64) > -0.7 {
+					vote.Add(res2.MustValue("edges", j))
+				}
+			}
+			if vote.Count() == 0 {
+				for _, j := range res2.Indices("edges") {
+					vote.Add(res2.MustValue("edges", j))
+				}
+			}
+			if v := vote.Result(); v != nil {
+				c.mu.Lock()
+				c.childs = append(c.childs, cannyVote{idx: si, vote: v.([]float64)})
+				c.mu.Unlock()
+			}
+			return nil
+		})
+	}
+	return p.Wait()
+}
+
 // WBTune implements Benchmark: the Fig. 4 program.
 func (b CannyBench) WBTune(seed int64, budget float64) Outcome {
 	ds := b.dataset(seed)
 	nStage1, nStage2 := b.stages()
 	t := newCore(core.Options{Seed: seed, Budget: budget, Incremental: true, MaxPool: 8})
 
-	var mu sync.Mutex
-	var childVotes [][]float64 // one majority-voted edge map per survivor
-	err := t.Run(func(p *core.P) error {
-		// Expensive loading/preprocessing happens once.
-		p.Work(canny.WorkLoad)
-		noisy := ds.Noisy
-		p.Expose("imgSize", noisy.W*noisy.H)
-
-		// Stage 1: sample sigma; commit the smoothed image.
-		res, err := p.Region(core.RegionSpec{
-			Name: "gaussian", Samples: nStage1,
-		}, func(sp *core.SP) error {
-			sigma := sp.Float("sigma", cannySigma)
-			sp.Work(canny.WorkSmooth)
-			sp.Commit("sImage", canny.SmoothStage(noisy, sigma))
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-
-		// Custom aggregation (AggregateGaussian): prune poorly smoothed
-		// samples, split one tuning process per survivor. If the heuristic
-		// rejects everything (an unusually clean or noisy scene), fall back
-		// to all samples rather than producing nothing.
-		_ = p.Load("imgSize") // the callback reads the exposed size, as in Fig. 4
-		survivors := make([]int, 0, len(res.Indices("sImage")))
-		for _, i := range res.Indices("sImage") {
-			if canny.WellSmoothed(res.MustValue("sImage", i).(img.Image), noisy) {
-				survivors = append(survivors, i)
-			}
-		}
-		if len(survivors) == 0 {
-			survivors = res.Indices("sImage")
-		}
-		splits := 0
-		for _, i := range survivors {
-			sm := res.MustValue("sImage", i).(img.Image)
-			// Always carry at least one survivor forward so a tight budget
-			// still produces a result.
-			if splits > 0 && t.BudgetExceeded() {
-				break
-			}
-			splits++
-			p.Split(func(c *core.P) error {
-				c.Work(canny.WorkGradient)
-				g := canny.GradientStage(sm)
-				res2, err := c.Region(core.RegionSpec{
-					Name: "traversal", Samples: nStage2,
-				}, func(sp *core.SP) error {
-					low := sp.Float("low", cannyLow)
-					high := sp.Float("high", cannyHigh)
-					sp.Work(canny.WorkTraverse)
-					edges := canny.TraverseStage(g, low, high)
-					// @check: threshold combinations that find no edges at
-					// all are pruned immediately — the white-box shortcut a
-					// black box only discovers after paying for the full
-					// execution.
-					plaus := cannyHeuristic(edges)
-					sp.Check(plaus > -9)
-					sp.Commit("plaus", plaus)
-					sp.Commit("edges", edges.Pix)
-					return nil
-				})
-				if err != nil {
-					return err
-				}
-				// Custom aggregation: majority-vote the plausible samples,
-				// falling back to all survivors when the plausibility band
-				// rejects everything (very dim scenes).
-				vote, _ := agg.New(agg.MV)
-				for _, j := range res2.Indices("edges") {
-					if res2.MustValue("plaus", j).(float64) > -0.7 {
-						vote.Add(res2.MustValue("edges", j))
-					}
-				}
-				if vote.Count() == 0 {
-					for _, j := range res2.Indices("edges") {
-						vote.Add(res2.MustValue("edges", j))
-					}
-				}
-				if v := vote.Result(); v != nil {
-					mu.Lock()
-					childVotes = append(childVotes, v.([]float64))
-					mu.Unlock()
-				}
-				return nil
-			})
-		}
-		return p.Wait()
-	})
+	run := &cannyRun{bench: b, t: t, ds: ds, nStage1: nStage1, nStage2: nStage2}
+	err := t.Run(run.body)
 	_ = err // individual region failures already excluded their samples
 
 	m := t.Metrics()
@@ -189,7 +245,7 @@ func (b CannyBench) WBTune(seed int64, budget float64) Outcome {
 		Samples:      int(m.Samples),
 		Score:        math.NaN(),
 	}
-	if final := consensusSelect(childVotes); final != nil {
+	if final := consensusSelect(run.votes()); final != nil {
 		edges := img.Image{W: cannySize, H: cannySize, Pix: final}
 		out.Score = canny.Score(edges, ds.Truth)
 		out.Internal = out.Score

@@ -21,6 +21,22 @@ type Store interface {
 	Load(label string) ([]byte, error)
 }
 
+// Lister is the optional enumeration side of a Store. A control plane
+// recovering after a restart lists the labels it persisted (job specs,
+// checkpoints) to rebuild its queue; plain Stores that cannot enumerate
+// stay valid — callers type-assert and degrade to non-durable operation.
+type Lister interface {
+	// List returns every label currently stored, in unspecified order.
+	List() ([]string, error)
+}
+
+// Deleter is the optional removal side of a Store. Deleting an absent
+// label is not an error — terminal job transitions race restarts, so
+// deletes must be idempotent.
+type Deleter interface {
+	Delete(label string) error
+}
+
 // LoadFrom loads and decodes the checkpoint stored under label. A missing
 // checkpoint is not an error: LoadFrom returns (nil, nil) so cold starts
 // and resumes share one call site.
@@ -87,6 +103,38 @@ func (d *DirStore) Load(label string) ([]byte, error) {
 	return os.ReadFile(p)
 }
 
+// List returns the labels of every stored checkpoint. In-flight ".tmp"
+// files (a save that never reached its rename) are not checkpoints and are
+// skipped.
+func (d *DirStore) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var labels []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		labels = append(labels, strings.TrimSuffix(name, ".ckpt"))
+	}
+	return labels, nil
+}
+
+// Delete removes the checkpoint stored under label; deleting an absent
+// label is a no-op.
+func (d *DirStore) Delete(label string) error {
+	p, err := d.path(label)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
 // MemStore is an in-memory Store for tests and live migration handoffs.
 // The zero value is ready to use.
 type MemStore struct {
@@ -115,4 +163,23 @@ func (m *MemStore) Load(label string) ([]byte, error) {
 		return nil, fmt.Errorf("checkpoint: label %q: %w", label, fs.ErrNotExist)
 	}
 	return append([]byte(nil), data...), nil
+}
+
+// List returns every stored label.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	labels := make([]string, 0, len(m.m))
+	for l := range m.m {
+		labels = append(labels, l)
+	}
+	return labels, nil
+}
+
+// Delete removes the bytes stored under label; absent labels are a no-op.
+func (m *MemStore) Delete(label string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.m, label)
+	return nil
 }

@@ -1,0 +1,37 @@
+// Package jobs owns the spec-driven job lifecycle: a bounded admission
+// queue with priority classes in front of core.Runtime, per-tenant quotas
+// and rate limits, durable specs persisted through the checkpoint.Store
+// seam, and the state machine
+//
+//	Queued → Admitted → Running → {Completed, Failed, Cancelled}
+//
+// with Checkpointed/Resumed transitions recorded along the way. It is the
+// substrate the wbtuned control plane serves over HTTP.
+package jobs
+
+import "errors"
+
+// Admission refusals. These are typed (mirroring core's ErrResume* style)
+// so callers — notably the HTTP layer — can map each to a distinct
+// response: a full queue is back-pressure (retry later), an exceeded quota
+// is the tenant's own footprint (cancel something first).
+var (
+	// ErrQueueFull reports a Submit against a bounded admission queue that
+	// is already at MaxQueued.
+	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrQuotaExceeded reports a Submit refused by the tenant's quota: its
+	// rate limit, or a queue share that would let it exceed its running cap
+	// by more than the queue can absorb.
+	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
+	// ErrDuplicate reports a Submit whose job name is already live (queued
+	// or running) or finished but not yet forgotten.
+	ErrDuplicate = errors.New("jobs: job name already in use")
+	// ErrUnknownProgram reports a spec naming a program absent from the
+	// manager's registry.
+	ErrUnknownProgram = errors.New("jobs: unknown program")
+	// ErrNotFound reports an inspect/cancel/watch against a job name the
+	// manager has never seen (or has forgotten).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrClosed reports an operation against a manager that has shut down.
+	ErrClosed = errors.New("jobs: manager closed")
+)

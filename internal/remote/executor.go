@@ -108,13 +108,22 @@ type snapVersion struct {
 	ratioFail bool
 }
 
+// maxSnapVersions bounds how many snapshot versions a jobSnap retains,
+// independent of the byte cap. The oldest retained version is the store's
+// tombstone-compaction horizon (every deleted-key record must survive until
+// no retained base predates it), so with small snapshots the byte cap alone
+// would let a long-running service job accumulate versions — and therefore
+// tombstones — without bound. Workers more than maxSnapVersions rounds
+// stale take a full re-ship, which they'd likely need anyway.
+const maxSnapVersions = 8
+
 // jobSnap caches one job's encoded exposed-store snapshot history. The
 // current version is encoded (or patched) once per store version; older
-// versions are retained, oldest-first in lru and bounded by the byte cap,
-// as delta-ship bases — a worker last sent any retained version receives a
-// key-level patch instead of the full encoding. Per-job entries keep
-// co-tenant jobs on a shared Runtime from thrashing each other's cache
-// between interleaved rounds.
+// versions are retained, oldest-first in lru and bounded by the byte cap
+// and maxSnapVersions, as delta-ship bases — a worker last sent any
+// retained version receives a key-level patch instead of the full encoding.
+// Per-job entries keep co-tenant jobs on a shared Runtime from thrashing
+// each other's cache between interleaved rounds.
 type jobSnap struct {
 	store  *store.Exposed
 	cur    *snapVersion
@@ -694,9 +703,14 @@ func (ex *NetExecutor) advanceSnapLocked(job uint64, e *store.Exposed, s *jobSna
 	}
 	newHash := fnv1a64(newData)
 	if newHash == prev.hash {
-		// Content-identical rewrite (same values re-Set): nothing to ship.
+		// Content-identical rewrite (same values re-Set, or scratch keys
+		// Set and Deleted within one round): nothing to ship, but tombstones
+		// behind the retention horizon still fall off — without this a
+		// service job churning per-round scratch keys back to identical
+		// content would grow the deleted-key map forever.
 		freeBuf(newData)
 		prev.ver = ver
+		e.CompactDeletions(s.byHash[s.lru[0]].ver)
 		return prev.data, prev.hash, nil
 	}
 	if err := checkSnapshotSize(len(newData)); err != nil {
@@ -759,7 +773,7 @@ func (ex *NetExecutor) advanceSnapLocked(job uint64, e *store.Exposed, s *jobSna
 	s.lru = append(s.lru, newHash)
 	s.cur = cur
 	s.bytes += len(newData)
-	for s.bytes > ex.snapCap && len(s.lru) > 1 {
+	for (s.bytes > ex.snapCap || len(s.lru) > maxSnapVersions) && len(s.lru) > 1 {
 		h := s.lru[0]
 		s.lru = s.lru[1:]
 		s.bytes -= len(s.byHash[h].data)

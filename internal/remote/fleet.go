@@ -231,15 +231,20 @@ func (fc *FleetController) tick() {
 	if dAdmitted > 0 {
 		meanWait = time.Duration(dWait / dAdmitted)
 	}
-	pressured := meanWait > fc.opts.Setpoint || now.Queued > 0
+	// High-priority jobs parked in a control-plane admission queue are
+	// pressure even while process-level waits are quiet: they run no
+	// processes yet, so they accrue no WaitNanos, but each one wants a
+	// running-set slot as soon as capacity allows. Lower classes queueing is
+	// acceptable backlog and does not force the fleet up.
+	pressured := meanWait > fc.opts.Setpoint || now.Queued > 0 || now.HighJobsQueued > 0
 	switch {
 	case pressured:
 		fc.quiet = 0
 		// Scale up asymmetrically fast: growth ignores the cooldown (it is
 		// cheap, self-limiting at Max, and every tick spent under-provisioned
 		// queues samples), while scale-down below stays deliberate. A deep
-		// setpoint breach doubles the fleet; a marginal one, or a visible
-		// admission backlog, grows linearly.
+		// setpoint breach doubles the fleet; a marginal one, a visible
+		// admission backlog, or queued high-priority jobs grow linearly.
 		if len(fc.members) < fc.opts.Max {
 			step := 1
 			if meanWait > 2*fc.opts.Setpoint && len(fc.members) > step {
@@ -247,6 +252,9 @@ func (fc *FleetController) tick() {
 			}
 			if q := now.Queued / fc.opts.LoopbackSlots; q > step {
 				step = q
+			}
+			if now.HighJobsQueued > step {
+				step = now.HighJobsQueued
 			}
 			if max := fc.opts.Max - len(fc.members); step > max {
 				step = max

@@ -206,6 +206,12 @@ type Scheduler struct {
 	cancelled atomic.Int64
 	peak      atomic.Int64
 
+	// Admission-queue depth reported by a jobs manager holding whole jobs
+	// in front of the running set (NoteQueuedJobs). Distinct from nwait,
+	// which counts process-level spawn requests already inside running jobs.
+	jobsQueued     atomic.Int64
+	highJobsQueued atomic.Int64
+
 	mu    sync.Mutex
 	seq   int64
 	queue []*waiter // unordered bag; selection scans under mu
@@ -289,17 +295,45 @@ type LoadStats struct {
 	// Capacity is the current sampling-process bound (local pool plus
 	// added remote capacity).
 	Capacity int
+	// JobsQueued is the number of whole jobs a jobs manager is holding in
+	// an admission queue in front of the running set (see NoteQueuedJobs).
+	JobsQueued int
+	// HighJobsQueued is the high-priority subset of JobsQueued. A fleet
+	// controller treats it as pressure even when process-level waits are
+	// quiet: a high-priority job stuck behind a full running set wants
+	// capacity now.
+	HighJobsQueued int
 }
 
 // Load returns the scheduler's current load snapshot.
 func (s *Scheduler) Load() LoadStats {
 	return LoadStats{
-		Admitted:  s.admitted.Load(),
-		Waited:    s.waited.Load(),
-		WaitNanos: s.waitNanos.Load(),
-		Queued:    int(s.nwait.Load()),
-		InUse:     int(s.occ.Load()),
-		Capacity:  s.Capacity(),
+		Admitted:       s.admitted.Load(),
+		Waited:         s.waited.Load(),
+		WaitNanos:      s.waitNanos.Load(),
+		Queued:         int(s.nwait.Load()),
+		InUse:          int(s.occ.Load()),
+		Capacity:       s.Capacity(),
+		JobsQueued:     int(s.jobsQueued.Load()),
+		HighJobsQueued: int(s.highJobsQueued.Load()),
+	}
+}
+
+// NoteQueuedJobs adjusts the admission-queue depth surfaced through
+// LoadStats. A jobs manager queueing whole jobs in front of the running set
+// calls it with +1 on enqueue and -1 on dequeue, setting high for
+// high-priority entries, so load consumers (notably the elastic fleet
+// controller) can see control-plane backlog that process-level wait
+// counters cannot: a queued job runs no processes yet, so it accrues no
+// WaitNanos. delta may be any signed value; the depth never goes negative.
+func (s *Scheduler) NoteQueuedJobs(high bool, delta int) {
+	if s.jobsQueued.Add(int64(delta)) < 0 {
+		s.jobsQueued.Store(0)
+	}
+	if high {
+		if s.highJobsQueued.Add(int64(delta)) < 0 {
+			s.highJobsQueued.Store(0)
+		}
 	}
 }
 
